@@ -1,0 +1,239 @@
+// Benchmarks regenerating the paper's evaluation artefacts (one per table
+// and figure, §6) plus ablations of the design choices called out in
+// DESIGN.md. Each figure bench exercises exactly the code path of the
+// corresponding cmd/paperfigs command at a reduced Monte-Carlo replication
+// (the printed rows come from the same API); wall-clock comparisons
+// between strategies, not absolute paper numbers, are the point.
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// benchGen keeps figure benchmarks tractable under `go test -bench`.
+const (
+	benchDays = 20
+	benchRuns = 2
+)
+
+func benchConfig(p repro.Platform, strat repro.Strategy) repro.Config {
+	return repro.Config{
+		Platform:    p,
+		Classes:     repro.APEXClasses(),
+		Strategy:    strat,
+		Seed:        1,
+		HorizonDays: benchDays,
+	}
+}
+
+// BenchmarkTable1WorkloadGeneration regenerates Table 1's workload: APEX
+// class instantiation on Cielo and the §5 randomized 60-day job list.
+func BenchmarkTable1WorkloadGeneration(b *testing.B) {
+	p := repro.Cielo(160, 2)
+	classes := repro.APEXClasses()
+	params, err := repro.InstantiateClasses(p, classes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs, err := workload.Generate(r, p, params, workload.DefaultGenConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(jobs) == 0 {
+			b.Fatal("no jobs")
+		}
+	}
+}
+
+// BenchmarkFigure1WasteVsBandwidth regenerates one Figure 1 sweep point
+// per sub-benchmark: all seven strategies at the given bandwidth on Cielo
+// with a 2-year node MTBF.
+func BenchmarkFigure1WasteVsBandwidth(b *testing.B) {
+	for _, bw := range []float64{40, 100, 160} {
+		b.Run(fmt.Sprintf("bw=%vGBps", bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base := benchConfig(repro.Cielo(bw, 2), repro.Strategy{})
+				if _, err := repro.CompareStrategies(base, repro.AllStrategies(), benchRuns, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2WasteVsMTBF regenerates one Figure 2 sweep point per
+// sub-benchmark: all seven strategies at 40 GB/s for the given node MTBF.
+func BenchmarkFigure2WasteVsMTBF(b *testing.B) {
+	for _, years := range []float64{2, 10, 50} {
+		b.Run(fmt.Sprintf("mtbf=%vy", years), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base := benchConfig(repro.Cielo(40, years), repro.Strategy{})
+				if _, err := repro.CompareStrategies(base, repro.AllStrategies(), benchRuns, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3MinBandwidth regenerates one Figure 3 point: the
+// bisection for the minimum bandwidth sustaining 80% efficiency on the
+// prospective system (one representative strategy per sub-benchmark; the
+// full figure loops this over all seven).
+func BenchmarkFigure3MinBandwidth(b *testing.B) {
+	for _, strat := range []repro.Strategy{repro.OrderedNBDaly(), repro.LeastWaste()} {
+		b.Run(strat.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(repro.Prospective(1000, 15), strat)
+				if _, err := repro.MinBandwidthForEfficiency(cfg, 0.8, 50e9, 400e12, benchRuns, 0, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3TheoryMinBandwidth regenerates Figure 3's theory series
+// point: Theorem 1 bisection over bandwidth.
+func BenchmarkFigure3TheoryMinBandwidth(b *testing.B) {
+	p := repro.Prospective(1000, 15)
+	classes := repro.APEXClasses()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.LowerBoundMinBandwidth(p, classes, 0.2, 50e9, 400e12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLowerBound measures the Theorem 1 solver itself (the constrained
+// case exercises the λ bisection).
+func BenchmarkLowerBound(b *testing.B) {
+	p := repro.Cielo(40, 2)
+	classes := repro.APEXClasses()
+	for i := 0; i < b.N; i++ {
+		sol, err := repro.LowerBound(p, classes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Constrained {
+			b.Fatal("expected constrained solution at 40 GB/s")
+		}
+	}
+}
+
+// BenchmarkSingleRun measures one full 60-day simulation per strategy —
+// the unit of every figure above.
+func BenchmarkSingleRun(b *testing.B) {
+	for _, strat := range repro.AllStrategies() {
+		b.Run(strat.Name(), func(b *testing.B) {
+			cfg := benchConfig(repro.Cielo(40, 2), strat)
+			cfg.HorizonDays = 60
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := repro.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInterference compares the linear model against the
+// footnote-2 adversarial model under Oblivious scheduling (design choice:
+// DESIGN.md §4, S5).
+func BenchmarkAblationInterference(b *testing.B) {
+	models := []struct {
+		name  string
+		model repro.InterferenceModel
+	}{
+		{"linear", repro.LinearShare{}},
+		{"degraded-0.9", repro.Degraded{Gamma: 0.9}},
+		{"degraded-0.7", repro.Degraded{Gamma: 0.7}},
+	}
+	for _, m := range models {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := benchConfig(repro.Cielo(40, 2), repro.ObliviousDaly())
+			cfg.Interference = m.model
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := repro.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBurstBuffer compares the §8 two-tier checkpoint path
+// against direct PFS commits under the blocking FCFS discipline: none vs
+// node-local NVRAM vs a resilient buffer appliance (design choice:
+// DESIGN.md S16). The node-local case on a starved PFS is the trap
+// documented in EXPERIMENTS.md.
+func BenchmarkAblationBurstBuffer(b *testing.B) {
+	configs := []struct {
+		name string
+		bb   *repro.BurstBuffer
+	}{
+		{"none", nil},
+		{"node-local-cooperative", func() *repro.BurstBuffer { c := repro.DefaultBurstBuffer(); return &c }()},
+		{"node-local-naive", func() *repro.BurstBuffer {
+			c := repro.DefaultBurstBuffer()
+			c.Period = repro.BurstBufferPeriodNaive
+			return &c
+		}()},
+		{"resilient", func() *repro.BurstBuffer {
+			c := repro.DefaultBurstBuffer()
+			c.Resilient = true
+			return &c
+		}()},
+	}
+	for _, tc := range configs {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchConfig(repro.Cielo(40, 2), repro.OrderedDaly())
+			cfg.BurstBuffer = tc.bb
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := repro.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFailureLaw compares exponential against Weibull failure
+// processes of equal mean rate (design choice: DESIGN.md §4, S4).
+func BenchmarkAblationFailureLaw(b *testing.B) {
+	laws := []struct {
+		name  string
+		model repro.FailureModel
+		shape float64
+	}{
+		{"exponential", repro.FailuresExponential, 0},
+		{"weibull-0.7", repro.FailuresWeibull, 0.7},
+		{"weibull-1.5", repro.FailuresWeibull, 1.5},
+	}
+	for _, l := range laws {
+		b.Run(l.name, func(b *testing.B) {
+			cfg := benchConfig(repro.Cielo(40, 2), repro.LeastWaste())
+			cfg.FailureModel = l.model
+			cfg.WeibullShape = l.shape
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := repro.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

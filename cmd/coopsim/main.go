@@ -1,0 +1,186 @@
+// Command coopsim runs cooperative-checkpointing simulations from the
+// command line: a single strategy or all seven, on the Cielo or
+// prospective platform, with Monte-Carlo replication and candlestick
+// output.
+//
+// Examples:
+//
+//	coopsim -bw 40 -mtbf 2 -runs 100                 # all strategies on Cielo
+//	coopsim -strategy Least-Waste -bw 80 -runs 1000  # one strategy
+//	coopsim -platform prospective -bw 2000 -mtbf 15  # future system
+//	coopsim -tsv > results.tsv                       # machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "cielo", "platform: cielo or prospective")
+		bw           = flag.Float64("bw", 40, "aggregated PFS bandwidth in GB/s")
+		mtbf         = flag.Float64("mtbf", 2, "node MTBF in years")
+		strategyName = flag.String("strategy", "all", "strategy name (see -list) or 'all'")
+		runs         = flag.Int("runs", 20, "Monte-Carlo replications per strategy")
+		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed         = flag.Uint64("seed", 1, "master random seed")
+		days         = flag.Float64("days", 60, "simulated segment length in days")
+		tsv          = flag.Bool("tsv", false, "emit tab-separated values")
+		list         = flag.Bool("list", false, "list strategy names and exit")
+		theory       = flag.Bool("theory", true, "print the §4 lower bound")
+		breakdown    = flag.Bool("breakdown", false, "print mean waste breakdown by category")
+		sweepBW      = flag.String("sweep-bw", "", "sweep bandwidth lo:hi:step (GB/s); repeats the experiment per point")
+		sweepMTBF    = flag.String("sweep-mtbf", "", "sweep node MTBF lo:hi:step (years)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range repro.AllStrategies() {
+			fmt.Println(s.Name())
+		}
+		return
+	}
+
+	mkPlatform := func(bwGBps, mtbfYears float64) repro.Platform {
+		switch *platformName {
+		case "cielo":
+			return repro.Cielo(bwGBps, mtbfYears)
+		case "prospective":
+			return repro.Prospective(bwGBps, mtbfYears)
+		default:
+			fmt.Fprintf(os.Stderr, "coopsim: unknown platform %q\n", *platformName)
+			os.Exit(2)
+			return repro.Platform{}
+		}
+	}
+
+	var strategies []repro.Strategy
+	if *strategyName == "all" {
+		strategies = repro.AllStrategies()
+	} else {
+		s, ok := repro.StrategyByName(*strategyName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coopsim: unknown strategy %q (try -list)\n", *strategyName)
+			os.Exit(2)
+		}
+		strategies = []repro.Strategy{s}
+	}
+
+	if *tsv {
+		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\t" + tsvHeader())
+	}
+
+	runPoint := func(bwGBps, mtbfYears float64) {
+		p := mkPlatform(bwGBps, mtbfYears)
+		base := repro.Config{
+			Platform:    p,
+			Classes:     repro.APEXClasses(),
+			Seed:        *seed,
+			HorizonDays: *days,
+		}
+		if !*tsv {
+			fmt.Printf("platform=%s bandwidth=%s nodeMTBF=%.1fy systemMTBF=%s runs=%d days=%.0f seed=%d\n",
+				p.Name, units.FormatBandwidth(p.BandwidthBps), mtbfYears,
+				units.FormatDuration(p.SystemMTBF()), *runs, *days, *seed)
+		}
+		results, err := repro.CompareStrategies(base, strategies, *runs, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *tsv {
+			for _, mc := range results {
+				fmt.Printf("%s\t%g\t%g\t%s\n", mc.Strategy, bwGBps, mtbfYears, mc.Summary.TSVRow())
+			}
+		} else {
+			fmt.Printf("%-18s %8s %8s %8s %8s %8s %8s\n",
+				"strategy", "mean", "p10", "p25", "p75", "p90", "util")
+			for _, mc := range results {
+				s := mc.Summary
+				fmt.Printf("%-18s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f\n",
+					mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.MeanUtilization)
+				if *breakdown {
+					printBreakdown(mc)
+				}
+			}
+		}
+		if *theory {
+			sol, err := repro.LowerBound(p, repro.APEXClasses())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coopsim: lower bound: %v\n", err)
+				os.Exit(1)
+			}
+			if *tsv {
+				fmt.Printf("Theoretical-Model\t%g\t%g\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
+					bwGBps, mtbfYears, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
+			} else {
+				fmt.Printf("%-18s %8.4f   (λ=%.4g, F=%.3f, constrained=%v)\n",
+					"Theoretical-Model", sol.Waste, sol.Lambda, sol.IOFraction, sol.Constrained)
+			}
+		}
+	}
+
+	switch {
+	case *sweepBW != "":
+		lo, hi, step := parseSweep(*sweepBW)
+		for b := lo; b <= hi+1e-9; b += step {
+			runPoint(b, *mtbf)
+		}
+	case *sweepMTBF != "":
+		lo, hi, step := parseSweep(*sweepMTBF)
+		for y := lo; y <= hi+1e-9; y += step {
+			runPoint(*bw, y)
+		}
+	default:
+		runPoint(*bw, *mtbf)
+	}
+}
+
+// parseSweep parses "lo:hi:step" with positive components.
+func parseSweep(s string) (lo, hi, step float64) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		fmt.Fprintf(os.Stderr, "coopsim: sweep %q not of the form lo:hi:step\n", s)
+		os.Exit(2)
+	}
+	vals := make([]float64, 3)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "coopsim: sweep %q: bad component %q\n", s, part)
+			os.Exit(2)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2]
+}
+
+func tsvHeader() string {
+	return "n\tmean\tstddev\tmin\tp10\tp25\tp50\tp75\tp90\tmax"
+}
+
+func printBreakdown(mc repro.MCResult) {
+	agg := map[string]float64{}
+	var total float64
+	for _, r := range mc.Results {
+		for cat, v := range r.WasteByCategory {
+			agg[cat] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Printf("    breakdown:")
+	for _, cat := range []string{"checkpoint", "wait", "dilation", "recovery", "lost-work", "aborted-io"} {
+		fmt.Printf(" %s=%.1f%%", cat, 100*agg[cat]/total)
+	}
+	fmt.Println()
+}

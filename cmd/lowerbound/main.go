@@ -1,0 +1,104 @@
+// Command lowerbound evaluates the steady-state model of §4 (Theorem 1):
+// the I/O-constrained optimal checkpoint periods and the platform-waste
+// lower bound, replacing the paper's Maple worksheet.
+//
+// Examples:
+//
+//	lowerbound -bw 40 -mtbf 2                 # one point, per-class detail
+//	lowerbound -sweep-bw 40:160:20 -mtbf 2    # Figure 1 theory series
+//	lowerbound -sweep-mtbf 2:50:4 -bw 40      # Figure 2 theory series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "cielo", "platform: cielo or prospective")
+		bw           = flag.Float64("bw", 40, "aggregated PFS bandwidth in GB/s")
+		mtbf         = flag.Float64("mtbf", 2, "node MTBF in years")
+		sweepBW      = flag.String("sweep-bw", "", "sweep bandwidth lo:hi:step (GB/s)")
+		sweepMTBF    = flag.String("sweep-mtbf", "", "sweep node MTBF lo:hi:step (years)")
+	)
+	flag.Parse()
+
+	mk := func(bwGBps, mtbfYears float64) repro.Platform {
+		if *platformName == "prospective" {
+			return repro.Prospective(bwGBps, mtbfYears)
+		}
+		return repro.Cielo(bwGBps, mtbfYears)
+	}
+
+	classes := repro.APEXClasses()
+	switch {
+	case *sweepBW != "":
+		lo, hi, step := parseSweep(*sweepBW)
+		fmt.Println("bandwidth_gbps\tlambda\tio_fraction\twaste")
+		for b := lo; b <= hi+1e-9; b += step {
+			sol, err := repro.LowerBound(mk(b, *mtbf), classes)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%g\t%.6g\t%.4f\t%.4f\n", b, sol.Lambda, sol.IOFraction, sol.Waste)
+		}
+	case *sweepMTBF != "":
+		lo, hi, step := parseSweep(*sweepMTBF)
+		fmt.Println("mtbf_years\tlambda\tio_fraction\twaste")
+		for y := lo; y <= hi+1e-9; y += step {
+			sol, err := repro.LowerBound(mk(*bw, y), classes)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%g\t%.6g\t%.4f\t%.4f\n", y, sol.Lambda, sol.IOFraction, sol.Waste)
+		}
+	default:
+		p := mk(*bw, *mtbf)
+		sol, err := repro.LowerBound(p, classes)
+		if err != nil {
+			fatal(err)
+		}
+		params, err := repro.InstantiateClasses(p, classes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("platform=%s bandwidth=%s nodeMTBF=%gy systemMTBF=%s\n",
+			p.Name, units.FormatBandwidth(p.BandwidthBps), *mtbf, units.FormatDuration(p.SystemMTBF()))
+		fmt.Printf("lambda=%.6g ioFraction=%.4f constrained=%v\n", sol.Lambda, sol.IOFraction, sol.Constrained)
+		fmt.Printf("platform waste lower bound = %.4f (efficiency %.1f%%)\n\n", sol.Waste, 100*(1-sol.Waste))
+		fmt.Printf("%-12s %10s %12s %12s %10s\n", "class", "C (s)", "P_Daly (s)", "P_opt (s)", "W_i")
+		for i, cp := range params {
+			fmt.Printf("%-12s %10.1f %12.1f %12.1f %10.4f\n",
+				cp.Name, cp.CkptSeconds(p.BandwidthBps), sol.DalyPeriods[i], sol.Periods[i], sol.PerClassWaste[i])
+		}
+	}
+}
+
+// parseSweep parses "lo:hi:step".
+func parseSweep(s string) (lo, hi, step float64) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		fatal(fmt.Errorf("sweep %q not of the form lo:hi:step", s))
+	}
+	vals := make([]float64, 3)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("sweep %q: bad component %q", s, part))
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2]
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lowerbound: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,244 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section (§6):
+//
+//	paperfigs table1          # Table 1: the LANL APEX workload
+//	paperfigs fig1            # Fig. 1: waste vs bandwidth, Cielo, 2y MTBF
+//	paperfigs fig2            # Fig. 2: waste vs node MTBF, Cielo, 40 GB/s
+//	paperfigs fig3            # Fig. 3: min bandwidth for 80% efficiency
+//	paperfigs all             # everything
+//
+// Candlesticks (mean, first/last decile, first/last quartile) follow the
+// paper's statistics; the theoretical lower bound of §4 accompanies each
+// sweep. -runs trades Monte-Carlo precision for time (the paper uses
+// 1000); -quick reduces the sweeps for smoke testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/units"
+)
+
+type options struct {
+	runs    int
+	workers int
+	seed    uint64
+	days    float64
+	quick   bool
+	tsv     bool
+}
+
+func main() {
+	opts := options{}
+	flag.IntVar(&opts.runs, "runs", 50, "Monte-Carlo replications per point (paper: 1000)")
+	flag.IntVar(&opts.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Uint64Var(&opts.seed, "seed", 1, "master random seed")
+	flag.Float64Var(&opts.days, "days", 60, "simulated segment length in days")
+	flag.BoolVar(&opts.quick, "quick", false, "reduced sweeps and runs (smoke test)")
+	flag.BoolVar(&opts.tsv, "tsv", false, "emit tab-separated values")
+	flag.Parse()
+
+	if opts.quick {
+		if opts.runs > 5 {
+			opts.runs = 5
+		}
+		if opts.days > 20 {
+			opts.days = 20
+		}
+	}
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+	switch cmd {
+	case "table1":
+		table1(opts)
+	case "fig1":
+		fig1(opts)
+	case "fig2":
+		fig2(opts)
+	case "fig3":
+		fig3(opts)
+	case "all":
+		table1(opts)
+		fig1(opts)
+		fig2(opts)
+		fig3(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown command %q (table1|fig1|fig2|fig3|all)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+// table1 prints the APEX workload table plus the derived per-class
+// simulation parameters on Cielo.
+func table1(opts options) {
+	fmt.Println("== Table 1: LANL Workflow Workload (APEX Workflows report) ==")
+	classes := repro.APEXClasses()
+	fmt.Printf("%-22s", "Workflow")
+	for _, c := range classes {
+		fmt.Printf("%12s", c.Name)
+	}
+	fmt.Println()
+	row := func(label string, f func(repro.Class) string) {
+		fmt.Printf("%-22s", label)
+		for _, c := range classes {
+			fmt.Printf("%12s", f(c))
+		}
+		fmt.Println()
+	}
+	row("Workload percentage", func(c repro.Class) string { return fmt.Sprintf("%g", c.Share*100) })
+	row("Work time (h)", func(c repro.Class) string { return fmt.Sprintf("%g", c.WorkHours) })
+	row("Number of cores", func(c repro.Class) string {
+		return fmt.Sprintf("%.0f", c.MachineFraction*143104)
+	})
+	row("Initial Input (%mem)", func(c repro.Class) string { return fmt.Sprintf("%g", c.InputPctMem) })
+	row("Final Output (%mem)", func(c repro.Class) string { return fmt.Sprintf("%g", c.OutputPctMem) })
+	row("Checkpoint (%mem)", func(c repro.Class) string { return fmt.Sprintf("%g", c.CkptPctMem) })
+
+	fmt.Println("\n-- Derived on Cielo (17888 nodes, 286 TB): --")
+	p := repro.Cielo(160, 2)
+	params, err := repro.InstantiateClasses(p, classes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s%12s%12s%12s%12s%12s\n", "class", "nodes", "memory", "ckpt size", "C@160GB/s", "Daly@160")
+	sol, err := repro.LowerBound(p, classes)
+	if err != nil {
+		fatal(err)
+	}
+	for i, cp := range params {
+		fmt.Printf("%-22s%12d%12s%12s%11.0fs%11.0fs\n",
+			cp.Name, cp.Nodes, units.FormatBytes(cp.MemoryBytes),
+			units.FormatBytes(cp.CkptBytes), cp.CkptSeconds(p.BandwidthBps), sol.DalyPeriods[i])
+	}
+	fmt.Println()
+}
+
+// sweepPoint runs all strategies plus the theory bound at one (platform,
+// label) point and prints a block of rows.
+func sweepPoint(opts options, p repro.Platform, axis string, axisValue float64) {
+	base := repro.Config{
+		Platform:    p,
+		Classes:     repro.APEXClasses(),
+		Seed:        opts.seed,
+		HorizonDays: opts.days,
+	}
+	results, err := repro.CompareStrategies(base, repro.AllStrategies(), opts.runs, opts.workers)
+	if err != nil {
+		fatal(err)
+	}
+	sol, err := repro.LowerBound(p, repro.APEXClasses())
+	if err != nil {
+		fatal(err)
+	}
+	for _, mc := range results {
+		s := mc.Summary
+		if opts.tsv {
+			fmt.Printf("%s\t%g\t%s\t%s\n", axis, axisValue, mc.Strategy, s.TSVRow())
+		} else {
+			fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]\n",
+				axis, axisValue, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90)
+		}
+	}
+	if opts.tsv {
+		fmt.Printf("%s\t%g\tTheoretical-Model\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
+			axis, axisValue, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
+	} else {
+		fmt.Printf("%s=%-8g %-18s mean=%.4f (λ=%.4g constrained=%v)\n",
+			axis, axisValue, "Theoretical-Model", sol.Waste, sol.Lambda, sol.Constrained)
+	}
+}
+
+// fig1 reproduces Figure 1: waste ratio vs aggregated bandwidth on Cielo
+// with a 2-year node MTBF.
+func fig1(opts options) {
+	fmt.Println("== Figure 1: waste ratio vs system bandwidth (Cielo, node MTBF 2y) ==")
+	bws := []float64{40, 60, 80, 100, 120, 140, 160}
+	if opts.quick {
+		bws = []float64{40, 100, 160}
+	}
+	start := time.Now()
+	for _, bw := range bws {
+		sweepPoint(opts, repro.Cielo(bw, 2), "bandwidth_gbps", bw)
+	}
+	fmt.Printf("-- fig1 done in %v --\n\n", time.Since(start).Round(time.Second))
+}
+
+// fig2 reproduces Figure 2: waste ratio vs node MTBF on Cielo at 40 GB/s.
+func fig2(opts options) {
+	fmt.Println("== Figure 2: waste ratio vs node MTBF (Cielo, 40 GB/s) ==")
+	years := []float64{2, 5, 10, 20, 35, 50}
+	if opts.quick {
+		years = []float64{2, 10, 50}
+	}
+	start := time.Now()
+	for _, y := range years {
+		sweepPoint(opts, repro.Cielo(40, y), "mtbf_years", y)
+	}
+	fmt.Printf("-- fig2 done in %v --\n\n", time.Since(start).Round(time.Second))
+}
+
+// fig3 reproduces Figure 3: the minimum aggregated bandwidth needed to
+// sustain 80% efficiency on the prospective system, per strategy and node
+// MTBF.
+func fig3(opts options) {
+	fmt.Println("== Figure 3: min bandwidth for 80% efficiency (prospective system) ==")
+	years := []float64{5, 10, 15, 20, 25}
+	if opts.quick {
+		years = []float64{5, 15, 25}
+	}
+	runs := opts.runs
+	if runs > 8 {
+		// Each sweep point is a full bisection; cap the per-evaluation
+		// replication to keep fig3 tractable.
+		runs = 8
+	}
+	steps := 10
+	if opts.quick {
+		steps = 6
+	}
+	loBps, hiBps := units.GBps(50), units.TBps(400)
+	start := time.Now()
+	for _, y := range years {
+		for _, strat := range repro.AllStrategies() {
+			cfg := repro.Config{
+				Platform:    repro.Prospective(1000, y),
+				Classes:     repro.APEXClasses(),
+				Strategy:    strat,
+				Seed:        opts.seed,
+				HorizonDays: opts.days,
+			}
+			bw, err := repro.MinBandwidthForEfficiency(cfg, 0.8, loBps, hiBps, runs, opts.workers, steps)
+			if err != nil {
+				fmt.Printf("mtbf_years=%-4g %-18s unreachable (%v)\n", y, strat.Name(), err)
+				continue
+			}
+			if opts.tsv {
+				fmt.Printf("mtbf_years\t%g\t%s\t%.4f\n", y, strat.Name(), bw/units.TB)
+			} else {
+				fmt.Printf("mtbf_years=%-4g %-18s min bandwidth = %8.3f TB/s\n", y, strat.Name(), bw/units.TB)
+			}
+		}
+		theory, err := repro.LowerBoundMinBandwidth(repro.Prospective(1000, y), repro.APEXClasses(), 0.2, loBps, hiBps)
+		if err != nil {
+			fatal(err)
+		}
+		if opts.tsv {
+			fmt.Printf("mtbf_years\t%g\tTheoretical-Model\t%.4f\n", y, theory/units.TB)
+		} else {
+			fmt.Printf("mtbf_years=%-4g %-18s min bandwidth = %8.3f TB/s\n", y, "Theoretical-Model", theory/units.TB)
+		}
+	}
+	fmt.Printf("-- fig3 done in %v --\n\n", time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleLowerBound solves Theorem 1 on bandwidth-starved Cielo: the Daly
+// periods alone would oversubscribe the PFS, so the KKT multiplier
+// activates and stretches them.
+func ExampleLowerBound() {
+	sol, err := repro.LowerBound(repro.Cielo(40, 2), repro.APEXClasses())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("constrained: %v\n", sol.Constrained)
+	fmt.Printf("io fraction: %.2f\n", sol.IOFraction)
+	fmt.Printf("waste bound: %.2f\n", sol.Waste)
+	// Output:
+	// constrained: true
+	// io fraction: 1.00
+	// waste bound: 0.50
+}
+
+// ExampleRun simulates one 20-day segment of the APEX workload under the
+// cooperative Least-Waste strategy.
+func ExampleRun() {
+	res, err := repro.Run(repro.Config{
+		Platform:    repro.Cielo(40, 2),
+		Classes:     repro.APEXClasses(),
+		Strategy:    repro.LeastWaste(),
+		Seed:        1,
+		HorizonDays: 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("strategy: %s\n", res.Strategy)
+	fmt.Printf("waste in (0,1): %v\n", res.WasteRatio > 0 && res.WasteRatio < 1)
+	fmt.Printf("checkpointed: %v\n", res.Checkpoints > 0)
+	// Output:
+	// strategy: Least-Waste
+	// waste in (0,1): true
+	// checkpointed: true
+}
+
+// ExampleStrategyByName resolves the paper's strategy labels.
+func ExampleStrategyByName() {
+	s, ok := repro.StrategyByName("Ordered-NB-Daly")
+	fmt.Println(ok, s.Name())
+	// Output: true Ordered-NB-Daly
+}
+
+// ExampleSummarize computes the paper's candlestick statistics.
+func ExampleSummarize() {
+	s := repro.Summarize([]float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	fmt.Printf("mean=%.2f median=%.2f\n", s.Mean, s.P50)
+	// Output: mean=0.30 median=0.30
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate the LANL APEX workload on Cielo under the paper's
+// Least-Waste cooperative checkpointing strategy and compare the measured
+// platform waste with the status quo (Oblivious-Fixed) and the §4
+// theoretical lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A bandwidth-starved configuration: Cielo with a 40 GB/s parallel
+	// file system and a 2-year node MTBF (~1h system MTBF).
+	base := repro.Config{
+		Platform: repro.Cielo(40, 2),
+		Classes:  repro.APEXClasses(),
+		Seed:     1,
+		// Keep the quickstart fast: a 20-day segment instead of the
+		// paper's 60 days.
+		HorizonDays: 20,
+	}
+
+	for _, strategy := range []repro.Strategy{repro.ObliviousFixed(), repro.LeastWaste()} {
+		cfg := base
+		cfg.Strategy = strategy
+		res, err := repro.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s waste ratio %.3f  (completed %d jobs, %d failures, %d checkpoints)\n",
+			res.Strategy, res.WasteRatio, res.JobsCompleted, res.Failures, res.Checkpoints)
+	}
+
+	sol, err := repro.LowerBound(base.Platform, base.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s waste ratio %.3f  (Theorem 1; λ=%.3f, I/O fraction %.2f)\n",
+		"theory bound", sol.Waste, sol.Lambda, sol.IOFraction)
+}

@@ -1,0 +1,64 @@
+package burstbuffer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.Resilient {
+		t.Fatal("default should be node-local (non-resilient)")
+	}
+	if !cfg.DrainToPFS {
+		t.Fatal("default must drain to the PFS")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{PerNodeBandwidthBps: 0, DrainToPFS: true},
+		{PerNodeBandwidthBps: -1, DrainToPFS: true},
+		// Node-local without drains can never secure a checkpoint.
+		{PerNodeBandwidthBps: 1e9, Resilient: false, DrainToPFS: false},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Resilient without drains is a legitimate PFS-free study.
+	ok := Config{PerNodeBandwidthBps: 1e9, Resilient: true, DrainToPFS: false}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("resilient drain-free config rejected: %v", err)
+	}
+}
+
+func TestCommitSeconds(t *testing.T) {
+	cfg := Config{PerNodeBandwidthBps: 2e9, DrainToPFS: true}
+	// 4 TB over 1000 nodes at 2 GB/s each: 4e12 / 2e12 = 2 s.
+	if got := cfg.CommitSeconds(4e12, 1000); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("CommitSeconds = %v, want 2", got)
+	}
+}
+
+// Property: commit time scales inversely with node count and linearly
+// with size.
+func TestCommitScalingProperty(t *testing.T) {
+	cfg := Default()
+	f := func(sizeRaw uint32, qRaw uint16) bool {
+		size := 1e6 + float64(sizeRaw)
+		q := 1 + int(qRaw)%10000
+		base := cfg.CommitSeconds(size, q)
+		double := cfg.CommitSeconds(2*size, q)
+		half := cfg.CommitSeconds(size, 2*q)
+		return math.Abs(double-2*base) < 1e-9*double && math.Abs(half-base/2) < 1e-9*base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

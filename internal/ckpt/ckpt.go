@@ -1,0 +1,84 @@
+// Package ckpt implements the checkpoint-period policies of §3.4: a fixed
+// application-defined period (the common one-hour heuristic) and the
+// Young/Daly optimal period √(2µC).
+package ckpt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// PolicyKind selects how a job's checkpoint period is derived.
+type PolicyKind int
+
+const (
+	// Fixed uses the same constant period for every job (default 1 h).
+	Fixed PolicyKind = iota
+	// Daly uses each job's Young/Daly period √(2 µ_i C_i) with
+	// µ_i = µ_ind / q_i.
+	Daly
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case Fixed:
+		return "Fixed"
+	case Daly:
+		return "Daly"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// Policy is a checkpoint-period policy.
+type Policy struct {
+	Kind PolicyKind
+	// FixedSeconds is the period used by the Fixed kind; zero selects
+	// the paper's one-hour default.
+	FixedSeconds float64
+}
+
+// FixedPolicy returns the fixed-period policy (seconds; 0 means 1 hour).
+func FixedPolicy(seconds float64) Policy { return Policy{Kind: Fixed, FixedSeconds: seconds} }
+
+// DalyPolicy returns the Young/Daly policy.
+func DalyPolicy() Policy { return Policy{Kind: Daly} }
+
+// Period returns the checkpoint period of a job with q nodes and
+// interference-free commit time ckptSeconds, on a platform with per-node
+// MTBF muInd. It panics on non-positive inputs for the Daly kind.
+func (p Policy) Period(muInd float64, q int, ckptSeconds float64) float64 {
+	switch p.Kind {
+	case Daly:
+		return DalyPeriod(muInd, q, ckptSeconds)
+	default:
+		if p.FixedSeconds > 0 {
+			return p.FixedSeconds
+		}
+		return units.Hour
+	}
+}
+
+func (k PolicyKind) suffix() string {
+	if k == Daly {
+		return "Daly"
+	}
+	return "Fixed"
+}
+
+// Label returns the paper's strategy-name suffix for the policy
+// ("Fixed" or "Daly").
+func (p Policy) Label() string { return p.Kind.suffix() }
+
+// DalyPeriod returns the Young/Daly optimal period √(2 µ C) for a job of q
+// nodes: µ = muInd/q is the job MTBF and C its interference-free commit
+// time.
+func DalyPeriod(muInd float64, q int, ckptSeconds float64) float64 {
+	if muInd <= 0 || q <= 0 || ckptSeconds <= 0 {
+		panic(fmt.Sprintf("ckpt: invalid Daly parameters muInd=%v q=%d C=%v", muInd, q, ckptSeconds))
+	}
+	mu := muInd / float64(q)
+	return math.Sqrt(2 * mu * ckptSeconds)
+}

@@ -1,0 +1,82 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestFixedDefaultsToOneHour(t *testing.T) {
+	p := FixedPolicy(0)
+	if got := p.Period(units.Years(2), 2048, 300); got != units.Hour {
+		t.Fatalf("fixed default period = %v, want 3600", got)
+	}
+}
+
+func TestFixedCustomPeriod(t *testing.T) {
+	p := FixedPolicy(1800)
+	if got := p.Period(units.Years(2), 2048, 300); got != 1800 {
+		t.Fatalf("fixed period = %v, want 1800", got)
+	}
+}
+
+func TestDalyFormula(t *testing.T) {
+	p := DalyPolicy()
+	// EAP on Cielo at 160 GB/s: q=2048, mu_ind=2y, C=327.4s.
+	// mu = 2*365*86400/2048 = 30796.875 s; P = sqrt(2*30796.875*327.4).
+	muInd := units.Years(2)
+	got := p.Period(muInd, 2048, 327.4)
+	want := math.Sqrt(2 * (muInd / 2048) * 327.4)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Daly period = %v, want %v", got, want)
+	}
+	// Sanity against the back-of-envelope value ~4490 s (~75 min).
+	if got < 4000 || got > 5000 {
+		t.Fatalf("EAP Daly period = %.0f s, expected ~4490 s", got)
+	}
+}
+
+func TestDalyPanicsOnInvalid(t *testing.T) {
+	cases := [][3]float64{{0, 10, 1}, {1, 0, 1}, {1, 10, 0}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DalyPeriod(%v) did not panic", c)
+				}
+			}()
+			DalyPeriod(c[0], int(c[1]), c[2])
+		}()
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if FixedPolicy(0).Label() != "Fixed" || DalyPolicy().Label() != "Daly" {
+		t.Fatal("policy labels wrong")
+	}
+	if Fixed.String() != "Fixed" || Daly.String() != "Daly" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+// Properties of the Young/Daly period: it grows with C (sqrt), shrinks
+// with q (1/sqrt), and doubling the bandwidth (halving C) divides the
+// period by sqrt(2).
+func TestDalyScalingProperty(t *testing.T) {
+	f := func(qRaw uint16, cRaw uint32) bool {
+		q := 1 + int(qRaw)%10000
+		c := 1 + float64(cRaw%100000)
+		mu := units.Years(2)
+		p := DalyPeriod(mu, q, c)
+		p2c := DalyPeriod(mu, q, 2*c)
+		p4q := DalyPeriod(mu, 4*q, c)
+		okC := math.Abs(p2c-p*math.Sqrt2) < 1e-6*p2c
+		okQ := math.Abs(p4q-p/2) < 1e-6*p
+		return okC && okQ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,17 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPrintGolden prints the counters for golden_test.go bootstrap; run
+// with -run TestPrintGolden -v and copy the values.
+func TestPrintGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	res := mustRun(t, tinyConfig(LeastWaste(), 12345))
+	fmt.Printf("GOLDEN gen=%d done=%d failed=%d fails=%d ckpts=%d cut=%d\n",
+		res.JobsGenerated, res.JobsCompleted, res.JobsFailed, res.Failures, res.Checkpoints, res.CheckpointsCut)
+}

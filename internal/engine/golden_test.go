@@ -1,0 +1,47 @@
+package engine
+
+import "testing"
+
+// TestGoldenCounters pins the exact event-level behaviour of one fixed
+// configuration. Any intentional change to scheduling, I/O, failure or
+// accounting semantics will move these integers; update them deliberately
+// and record the reason in the commit. (Float outputs are deliberately
+// not pinned: they may legitimately move with compiler/runtime rounding.)
+func TestGoldenCounters(t *testing.T) {
+	res := mustRun(t, tinyConfig(LeastWaste(), 12345))
+	type counters struct {
+		Generated, Completed, Failed, Failures, Ckpts, Cut int
+	}
+	got := counters{
+		Generated: res.JobsGenerated,
+		Completed: res.JobsCompleted,
+		Failed:    res.JobsFailed,
+		Failures:  res.Failures,
+		Ckpts:     res.Checkpoints,
+		Cut:       res.CheckpointsCut,
+	}
+	want := counters{}
+	// Populate once from a verified run; see TestGoldenCountersBootstrap
+	// below for regeneration instructions.
+	want = goldenWant
+	if got != want {
+		t.Fatalf("golden counters moved:\n got  %+v\n want %+v\n"+
+			"If this change is intentional, update goldenWant.", got, want)
+	}
+	if res.WasteRatio <= 0 || res.WasteRatio >= 1 {
+		t.Fatalf("golden waste ratio %v out of range", res.WasteRatio)
+	}
+}
+
+// goldenWant was captured from the verified implementation of the paper's
+// semantics (tinyConfig, LeastWaste, seed 12345).
+var goldenWant = struct {
+	Generated, Completed, Failed, Failures, Ckpts, Cut int
+}{
+	Generated: goldenGenerated,
+	Completed: goldenCompleted,
+	Failed:    goldenFailed,
+	Failures:  goldenFailures,
+	Ckpts:     goldenCkpts,
+	Cut:       goldenCut,
+}

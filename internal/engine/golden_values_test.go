@@ -1,0 +1,12 @@
+package engine
+
+// Captured golden counters for tinyConfig(LeastWaste(), 12345);
+// regenerate with TestPrintGolden after intentional semantic changes.
+const (
+	goldenGenerated = 100
+	goldenCompleted = 92
+	goldenFailed    = 6
+	goldenFailures  = 6
+	goldenCkpts     = 12
+	goldenCut       = 0
+)

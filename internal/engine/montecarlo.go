@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// MCResult aggregates a Monte-Carlo experiment: one strategy evaluated
+// over many independently seeded runs (§5: "a large set of initial
+// conditions ... is randomly chosen, and we simulate the execution of the
+// system over each element of this set for each strategy").
+type MCResult struct {
+	Strategy string
+	// WasteRatios holds each run's waste ratio, in run order.
+	WasteRatios []float64
+	// Summary is the candlestick statistic of WasteRatios (mean,
+	// deciles, quartiles).
+	Summary stats.Summary
+	// MeanUtilization and MeanFailures summarise secondary outputs.
+	MeanUtilization float64
+	MeanFailures    float64
+	// Results keeps the per-run details, in run order.
+	Results []Result
+}
+
+// MonteCarlo runs the configuration `runs` times with independent seeds
+// derived from cfg.Seed and summarises the waste ratios. workers bounds
+// parallelism (0 means GOMAXPROCS). The per-run seed of run i is
+// independent of the total number of runs, so extending an experiment
+// reuses earlier runs' results exactly.
+func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
+	if runs <= 0 {
+		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+
+	results := make([]Result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runCfg := cfg
+				// Stream 100+i avoids colliding with the internal
+				// generation/failure streams (1 and 2) of any seed.
+				runCfg.Seed = rng.NewStream(cfg.Seed, uint64(100+i)).Uint64()
+				results[i], errs[i] = Run(runCfg)
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return MCResult{}, fmt.Errorf("engine: run %d: %w", i, err)
+		}
+	}
+
+	mc := MCResult{
+		Strategy:    cfg.Strategy.Name(),
+		WasteRatios: make([]float64, runs),
+		Results:     results,
+	}
+	var util, fails float64
+	for i, r := range results {
+		mc.WasteRatios[i] = r.WasteRatio
+		util += r.Utilization
+		fails += float64(r.Failures)
+	}
+	mc.Summary = stats.Summarize(mc.WasteRatios)
+	mc.MeanUtilization = util / float64(runs)
+	mc.MeanFailures = fails / float64(runs)
+	return mc, nil
+}
+
+// CompareStrategies runs the same Monte-Carlo experiment for every given
+// strategy (each strategy sees identical per-run seeds, hence identical
+// job mixes and failure traces — the paired design of §5's comparisons).
+func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([]MCResult, error) {
+	out := make([]MCResult, 0, len(strategies))
+	for _, strat := range strategies {
+		cfg := base
+		cfg.Strategy = strat
+		mc, err := MonteCarlo(cfg, runs, workers)
+		if err != nil {
+			return nil, fmt.Errorf("engine: strategy %s: %w", strat.Name(), err)
+		}
+		out = append(out, mc)
+	}
+	return out, nil
+}
+
+// MinBandwidthForEfficiency searches the smallest aggregated bandwidth (in
+// bytes/s, within [loBps, hiBps]) at which the strategy's mean waste ratio
+// stays at or below 1-targetEfficiency — the Figure 3 experiment ("the
+// required aggregated practical bandwidth necessary to provide a sustained
+// 80% efficiency"). The mean waste is monotone in bandwidth up to
+// Monte-Carlo noise; `runs` controls that noise, `steps` the bisection
+// depth.
+func MinBandwidthForEfficiency(cfg Config, targetEfficiency float64, loBps, hiBps float64, runs, workers, steps int) (float64, error) {
+	if targetEfficiency <= 0 || targetEfficiency >= 1 {
+		return 0, fmt.Errorf("engine: target efficiency %v outside (0,1)", targetEfficiency)
+	}
+	if loBps <= 0 || hiBps <= loBps {
+		return 0, fmt.Errorf("engine: invalid bandwidth bracket [%v, %v]", loBps, hiBps)
+	}
+	if steps <= 0 {
+		steps = 12
+	}
+	maxWaste := 1 - targetEfficiency
+	meanWaste := func(bps float64) (float64, error) {
+		c := cfg
+		c.Platform.BandwidthBps = bps
+		mc, err := MonteCarlo(c, runs, workers)
+		if err != nil {
+			return 0, err
+		}
+		return mc.Summary.Mean, nil
+	}
+	w, err := meanWaste(hiBps)
+	if err != nil {
+		return 0, err
+	}
+	if w > maxWaste {
+		return 0, fmt.Errorf("engine: %s cannot reach %.0f%% efficiency below %v B/s (waste %.3f)",
+			cfg.Strategy.Name(), targetEfficiency*100, hiBps, w)
+	}
+	if w, err := meanWaste(loBps); err != nil {
+		return 0, err
+	} else if w <= maxWaste {
+		return loBps, nil
+	}
+	lo, hi := loBps, hiBps
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		w, err := meanWaste(mid)
+		if err != nil {
+			return 0, err
+		}
+		if w > maxWaste {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,649 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/failure"
+	"repro/internal/iomodel"
+	"repro/internal/iosched"
+	"repro/internal/jobsched"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// simulation holds the assembled run state.
+type simulation struct {
+	cfg     Config
+	eng     *sim.Engine
+	params  []workload.ClassParams
+	specs   []*specState
+	runs    []*jobRun // indexed by runtime instance id
+	queue   jobsched.Queue
+	nodes   *platform.NodeMap
+	device  iomodel.Device
+	failSrc *failure.Source
+	ledger  *metrics.Ledger
+	horizon float64
+	bw      float64
+	muInd   float64
+	res     Result
+	// classPeriods overrides the per-class checkpoint period when the
+	// burst buffer's cooperative period model is active (nil otherwise).
+	classPeriods []float64
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	s, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.execute()
+	res := s.finalize()
+
+	if cfg.PairedBaseline && !cfg.BaselineIO {
+		base := cfg
+		base.PairedBaseline = false
+		base.DisableFailures = true
+		base.DisableCheckpoints = true
+		base.BaselineIO = true
+		baseRes, err := Run(base)
+		if err != nil {
+			return Result{}, fmt.Errorf("engine: paired baseline: %w", err)
+		}
+		if baseRes.UsefulNodeSeconds > 0 {
+			res.PairedWasteRatio = res.WasteNodeSeconds / baseRes.UsefulNodeSeconds
+		}
+	}
+	return res, nil
+}
+
+// build assembles the simulation: workload, devices, failure chain.
+func build(cfg Config) (*simulation, error) {
+	params, err := workload.Instantiate(cfg.Platform, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	genRNG := rng.NewStream(cfg.Seed, 1)
+	jobs, err := workload.Generate(genRNG, cfg.Platform, params, cfg.Gen)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &simulation{
+		cfg:     cfg,
+		eng:     sim.New(),
+		params:  params,
+		nodes:   platform.NewNodeMap(cfg.Platform.Nodes),
+		ledger:  cfg.newLedger(),
+		horizon: units.Days(cfg.HorizonDays),
+		bw:      cfg.Platform.BandwidthBps,
+		muInd:   cfg.Platform.NodeMTBFSeconds,
+	}
+	s.res.Strategy = cfg.Strategy.Name()
+	s.res.JobsGenerated = len(jobs)
+
+	switch {
+	case cfg.BaselineIO:
+		s.device = iomodel.NewSharedDevice(s.eng, s.bw, iomodel.Unlimited{})
+	case cfg.Strategy.Discipline == iosched.Oblivious:
+		s.device = iomodel.NewSharedDevice(s.eng, s.bw, cfg.Interference)
+	case cfg.Strategy.Discipline == iosched.LeastWaste:
+		// Equation (2) already arbitrates drains: a drain candidate's
+		// growing failure exposure eventually outweighs foreground
+		// requests, so no special background class is needed.
+		sel := iosched.NewLeastWasteSelector(s.muInd, s.bw)
+		s.device = iomodel.NewTokenDevice(s.eng, s.bw, sel)
+	case cfg.BurstBuffer != nil:
+		// FCFS with burst-buffer drains demoted to a background class
+		// (drain-when-idle), or long drains would head-of-line-block
+		// job input/output behind the token.
+		s.device = iomodel.NewTokenDevice(s.eng, s.bw, iomodel.FCFSBackground{})
+	default:
+		s.device = iomodel.NewTokenDevice(s.eng, s.bw, iomodel.FCFS{})
+	}
+
+	s.failSrc = failure.NewSource(rng.NewStream(cfg.Seed, 2), failure.Config{
+		Model:           cfg.FailureModel,
+		WeibullShape:    cfg.WeibullShape,
+		NodeMTBFSeconds: cfg.Platform.NodeMTBFSeconds,
+		Nodes:           cfg.Platform.Nodes,
+		Disabled:        cfg.DisableFailures,
+	})
+
+	if err := s.deriveBBPeriods(); err != nil {
+		return nil, err
+	}
+
+	// One spec per generated job; the initial instance of each is queued
+	// in priority order.
+	s.specs = make([]*specState, len(jobs))
+	for i, job := range jobs {
+		s.specs[i] = &specState{spec: job, class: &s.params[job.Class]}
+	}
+	for _, spec := range s.specs {
+		s.newInstance(spec)
+	}
+	return s, nil
+}
+
+// newInstance creates and enqueues a job instance for the spec, inheriting
+// committed progress (a failure restart when attempts > 0).
+func (s *simulation) newInstance(spec *specState) *jobRun {
+	cp := spec.class
+	j := &jobRun{
+		id:       int32(len(s.runs)),
+		spec:     spec,
+		phase:    phaseQueued,
+		progress: spec.committed,
+		ckptC:    cp.CkptSeconds(s.bw),
+		ckptR:    cp.RecoverySeconds(s.bw),
+	}
+	if bb := s.cfg.BurstBuffer; bb != nil {
+		// The commit time the job experiences is the buffer write; the
+		// Young/Daly period shortens accordingly (§8: higher optimal
+		// checkpoint frequency). Recovery stays a PFS read unless the
+		// buffer is resilient.
+		j.ckptC = bb.CommitSeconds(cp.CkptBytes, cp.Nodes)
+		if bb.Resilient {
+			j.ckptR = j.ckptC
+		}
+	}
+	if s.classPeriods != nil {
+		j.period = s.classPeriods[cp.Index]
+	} else {
+		j.period = s.cfg.Strategy.Policy.Period(s.muInd, cp.Nodes, j.ckptC)
+	}
+	if spec.hasCkpt {
+		j.inputVolume = cp.CkptBytes
+		j.recovery = true
+	} else {
+		j.inputVolume = cp.InputBytes
+	}
+	if cp.RegularIOPhases > 0 {
+		j.regularVol = cp.RegularIOBytes / float64(cp.RegularIOPhases)
+		total := spec.spec.WorkSeconds
+		for k := 1; k <= cp.RegularIOPhases; k++ {
+			at := total * float64(k) / float64(cp.RegularIOPhases+1)
+			if at > spec.committed {
+				j.thresholds = append(j.thresholds, at)
+			}
+		}
+	}
+	spec.attempts++
+	s.runs = append(s.runs, j)
+	item := jobsched.Item{ID: j.id, Nodes: cp.Nodes}
+	if spec.attempts > 1 {
+		s.queue.PushUrgent(item)
+	} else {
+		s.queue.PushNormal(item)
+	}
+	return j
+}
+
+// execute runs the event loop to the horizon.
+func (s *simulation) execute() {
+	s.eng.Schedule(0, func() { s.trySchedule() })
+	s.armNextFailure()
+	s.eng.Run(s.horizon)
+}
+
+// armNextFailure chains the next failure event.
+func (s *simulation) armNextFailure() {
+	ev := s.failSrc.Next()
+	if math.IsInf(ev.Time, 1) || ev.Time > s.horizon {
+		return
+	}
+	s.eng.Schedule(ev.Time, func() {
+		s.res.FailureEvents++
+		owner := s.nodes.Owner(ev.Node)
+		s.trace("failure", -1, fmt.Sprintf("node %d owner %d", ev.Node, owner))
+		if owner != platform.NoOwner {
+			s.res.Failures++
+			s.killJob(s.runs[owner])
+		}
+		s.armNextFailure()
+	})
+}
+
+// trySchedule fills free nodes with queued jobs (greedy first-fit).
+func (s *simulation) trySchedule() {
+	s.queue.FirstFit(s.nodes.Free(), func(it jobsched.Item) {
+		s.startJob(s.runs[it.ID])
+	})
+}
+
+// startJob allocates nodes and begins the startup read.
+func (s *simulation) startJob(j *jobRun) {
+	now := s.eng.Now()
+	if !s.nodes.Allocate(j.id, j.q()) {
+		panic("engine: first-fit offered a job that does not fit")
+	}
+	j.allocTime = now
+	if j.recovery && s.cfg.BurstBuffer != nil && s.cfg.BurstBuffer.Resilient {
+		s.bbRecoveryStart(j)
+		return
+	}
+	j.phase = phaseInput
+	j.waitStart = now
+	kind := iomodel.Input
+	if j.recovery {
+		kind = iomodel.Recovery
+	}
+	s.trace("job-start", j.id, fmt.Sprintf("%s attempt %d", j.spec.class.Name, j.spec.attempts))
+	j.transfer = &iomodel.Transfer{
+		Kind:       kind,
+		Volume:     j.inputVolume,
+		Nodes:      j.q(),
+		OnStart:    func(float64) { s.chargeWait(j) },
+		OnComplete: func(float64) { s.onInputDone(j) },
+	}
+	s.device.Submit(j.transfer)
+}
+
+// chargeWait charges the blocked interval [waitStart, now] to CatWait
+// (zero-length on shared devices, where transfers start at submission).
+func (s *simulation) chargeWait(j *jobRun) {
+	s.ledger.AddWaste(metrics.CatWait, j.q(), j.waitStart, s.eng.Now())
+}
+
+// addProvisionalIO credits the interference-free share of a completed
+// non-CR transfer to the job's provisional ledger and charges the dilation
+// to waste. The nominal share is spread uniformly over [a, b] so window
+// clipping stays exact.
+func (s *simulation) addProvisionalIO(j *jobRun, a, b, nominal float64) {
+	length := b - a
+	clipped := s.ledger.Clip(a, b)
+	if length <= 0 || clipped <= 0 {
+		return
+	}
+	frac := nominal / length
+	if frac > 1 {
+		frac = 1
+	}
+	j.provisional += float64(j.q()) * clipped * frac
+	s.ledger.AddWasteSeconds(metrics.CatDilation, float64(j.q())*clipped*(1-frac))
+}
+
+// onInputDone finishes the startup read and starts computing.
+func (s *simulation) onInputDone(j *jobRun) {
+	now := s.eng.Now()
+	tr := j.transfer
+	j.transfer = nil
+	if j.recovery {
+		// Recovery reads do not exist in the baseline: pure waste.
+		s.ledger.AddWaste(metrics.CatRecovery, j.q(), tr.Start(), now)
+	} else {
+		s.addProvisionalIO(j, tr.Start(), now, tr.Volume/s.bw)
+	}
+	s.trace("input-done", j.id, tr.Kind.String())
+	s.startComputing(j)
+}
+
+// startComputing enters the main execution phase after the startup read:
+// the failure-exposure origins reset and the first checkpoint is armed a
+// full period out (§2: "the first checkpoint is set at date P_i").
+func (s *simulation) startComputing(j *jobRun) {
+	now := s.eng.Now()
+	j.lastCkptEnd = now
+	j.lastDurable = now
+	s.beginCompute(j)
+	s.armCheckpoint(j, j.period)
+}
+
+// armCheckpoint schedules the next checkpoint request after delay seconds.
+func (s *simulation) armCheckpoint(j *jobRun, delay float64) {
+	if s.cfg.DisableCheckpoints {
+		return
+	}
+	if j.ckptEvent != nil {
+		j.ckptEvent.Cancel()
+	}
+	j.ckptEvent = s.eng.After(delay, func() {
+		j.ckptEvent = nil
+		s.ckptDue(j)
+	})
+}
+
+// beginCompute (re)starts the computing interval and arms the next
+// compute boundary (work completion or regular-I/O threshold). A
+// checkpoint that came due while the job was blocked elsewhere is issued
+// immediately.
+func (s *simulation) beginCompute(j *jobRun) {
+	now := s.eng.Now()
+	j.phase = phaseCompute
+	j.computeStart = now
+	j.computeBase = j.progress
+	target := j.totalWork()
+	if len(j.thresholds) > 0 && j.thresholds[0] < target {
+		target = j.thresholds[0]
+	}
+	j.stopEvent = s.eng.After(target-j.progress, func() {
+		j.stopEvent = nil
+		s.computeBoundary(j, target)
+	})
+	if j.ckptDuePending {
+		j.ckptDuePending = false
+		s.ckptDue(j)
+	}
+}
+
+// pauseCompute stops progress accrual, accumulating the computed interval
+// into the provisional ledger. Valid in phaseCompute and phaseCkptWait.
+func (s *simulation) pauseCompute(j *jobRun) {
+	now := s.eng.Now()
+	j.progress = j.computeBase + (now - j.computeStart)
+	if j.progress > j.totalWork() {
+		j.progress = j.totalWork()
+	}
+	j.provisional += float64(j.q()) * s.ledger.Clip(j.computeStart, now)
+	if j.stopEvent != nil {
+		j.stopEvent.Cancel()
+		j.stopEvent = nil
+	}
+}
+
+// computeBoundary handles the end of a computing interval: either the work
+// is done or a regular-I/O threshold was reached.
+func (s *simulation) computeBoundary(j *jobRun, target float64) {
+	s.pauseCompute(j)
+	j.progress = target // exact, killing float drift
+	if target >= j.totalWork() {
+		s.workComplete(j)
+		return
+	}
+	// Regular-I/O threshold.
+	j.thresholds = j.thresholds[1:]
+	if j.phase == phaseCkptWait {
+		// The pending checkpoint request cannot be honoured while the
+		// job blocks on regular I/O; withdraw and re-issue afterwards.
+		s.device.Abort(j.transfer)
+		j.transfer = nil
+		j.ckptDuePending = true
+	}
+	j.phase = phaseRegular
+	j.waitStart = s.eng.Now()
+	j.transfer = &iomodel.Transfer{
+		Kind:       iomodel.Regular,
+		Volume:     j.regularVol,
+		Nodes:      j.q(),
+		OnStart:    func(float64) { s.chargeWait(j) },
+		OnComplete: func(float64) { s.onRegularDone(j) },
+	}
+	s.trace("regular-io", j.id, "")
+	s.device.Submit(j.transfer)
+}
+
+// onRegularDone resumes computing after a regular I/O.
+func (s *simulation) onRegularDone(j *jobRun) {
+	now := s.eng.Now()
+	tr := j.transfer
+	j.transfer = nil
+	s.addProvisionalIO(j, tr.Start(), now, tr.Volume/s.bw)
+	s.beginCompute(j)
+}
+
+// ckptDue handles a checkpoint coming due.
+func (s *simulation) ckptDue(j *jobRun) {
+	if s.cfg.DisableCheckpoints || j.phase == phaseDone {
+		return
+	}
+	switch j.phase {
+	case phaseCompute:
+		// proceed below
+	case phaseCkptWait, phaseCkptBlocked, phaseCkptIO:
+		// Already checkpointing; nothing to do.
+		return
+	default:
+		// Blocked in another I/O: honour at next compute resume.
+		j.ckptDuePending = true
+		return
+	}
+	if j.remaining() <= 0 {
+		return
+	}
+	if s.cfg.BurstBuffer != nil {
+		s.bbCkptDue(j)
+		return
+	}
+	now := s.eng.Now()
+	tr := &iomodel.Transfer{
+		Kind:            iomodel.Checkpoint,
+		Volume:          j.spec.class.CkptBytes,
+		Nodes:           j.q(),
+		LastCkptEnd:     j.lastCkptEnd,
+		RecoverySeconds: j.ckptR,
+		OnStart:         func(float64) { s.onCkptGrant(j) },
+		OnComplete:      func(float64) { s.onCkptDone(j) },
+	}
+	s.trace("ckpt-request", j.id, "")
+	if s.cfg.Strategy.Discipline.NonBlockingCheckpoints() {
+		// §3.3: keep computing until the token arrives.
+		j.phase = phaseCkptWait
+		j.transfer = tr
+		s.device.Submit(tr)
+		return
+	}
+	// Blocking disciplines stop the job at the request.
+	s.pauseCompute(j)
+	j.phase = phaseCkptBlocked
+	j.waitStart = now
+	j.transfer = tr
+	s.device.Submit(tr)
+}
+
+// onCkptGrant begins the commit: the job stops computing (non-blocking
+// disciplines) and the restart point is snapshotted ("the job would
+// restart from the time at which the postponed checkpoint was taken").
+func (s *simulation) onCkptGrant(j *jobRun) {
+	switch j.phase {
+	case phaseCkptWait:
+		s.pauseCompute(j)
+	case phaseCkptBlocked:
+		s.chargeWait(j)
+	default:
+		panic(fmt.Sprintf("engine: checkpoint grant in phase %v", j.phase))
+	}
+	j.snapshot = j.progress
+	j.phase = phaseCkptIO
+	s.trace("ckpt-grant", j.id, "")
+}
+
+// onCkptDone commits the checkpoint: provisional work becomes durable
+// useful time, and the next checkpoint is armed P−C after this commit.
+func (s *simulation) onCkptDone(j *jobRun) {
+	now := s.eng.Now()
+	tr := j.transfer
+	j.transfer = nil
+	s.ledger.AddWaste(metrics.CatCheckpoint, j.q(), tr.Start(), now)
+	j.spec.committed = j.snapshot
+	j.spec.hasCkpt = true
+	s.ledger.AddUsefulSeconds(j.provisional)
+	j.provisional = 0
+	j.lastCkptEnd = now
+	s.res.Checkpoints++
+	s.trace("ckpt-commit", j.id, fmt.Sprintf("progress %.0fs", j.snapshot))
+	s.beginCompute(j)
+	s.armCheckpoint(j, math.Max(j.period-j.ckptC, 0))
+}
+
+// workComplete moves the job to its final output store.
+func (s *simulation) workComplete(j *jobRun) {
+	now := s.eng.Now()
+	if j.phase == phaseCkptWait {
+		// A pending checkpoint request is pointless now.
+		s.device.Abort(j.transfer)
+		j.transfer = nil
+	}
+	j.cancelTimers()
+	j.ckptDuePending = false
+	j.phase = phaseOutput
+	j.waitStart = now
+	j.transfer = &iomodel.Transfer{
+		Kind:       iomodel.Output,
+		Volume:     j.spec.class.OutputBytes,
+		Nodes:      j.q(),
+		OnStart:    func(float64) { s.chargeWait(j) },
+		OnComplete: func(float64) { s.onOutputDone(j) },
+	}
+	s.trace("work-complete", j.id, "")
+	s.device.Submit(j.transfer)
+}
+
+// onOutputDone completes the job: all provisional work becomes useful,
+// and any still-running burst-buffer drain is pointless.
+func (s *simulation) onOutputDone(j *jobRun) {
+	now := s.eng.Now()
+	tr := j.transfer
+	j.transfer = nil
+	if j.drain != nil {
+		s.device.Abort(j.drain)
+		j.drain = nil
+	}
+	s.addProvisionalIO(j, tr.Start(), now, tr.Volume/s.bw)
+	s.ledger.AddUsefulSeconds(j.provisional + j.pendingFlush)
+	j.provisional, j.pendingFlush = 0, 0
+	j.phase = phaseDone
+	s.ledger.AddAllocated(j.q(), j.allocTime, now)
+	if err := s.nodes.Release(j.id); err != nil {
+		panic(err)
+	}
+	s.res.JobsCompleted++
+	s.trace("job-complete", j.id, "")
+	s.trySchedule()
+}
+
+// killJob terminates an instance struck by a failure, attributes its
+// in-flight activity, and enqueues the restart at the head of the queue.
+func (s *simulation) killJob(j *jobRun) {
+	now := s.eng.Now()
+	switch j.phase {
+	case phaseCompute:
+		s.pauseCompute(j)
+	case phaseCkptWait:
+		s.pauseCompute(j)
+		s.device.Abort(j.transfer)
+		j.transfer = nil
+	case phaseCkptBlocked:
+		s.chargeWait(j)
+		s.device.Abort(j.transfer)
+		j.transfer = nil
+	case phaseCkptIO:
+		if j.transfer != nil { // PFS commit; buffer commits are handled below
+			s.ledger.AddWaste(metrics.CatCheckpoint, j.q(), j.transfer.Start(), now)
+			s.device.Abort(j.transfer)
+			j.transfer = nil
+			s.res.CheckpointsCut++
+		}
+	case phaseInput, phaseRegular, phaseOutput:
+		if j.transfer != nil { // nil during a resilient-buffer recovery
+			if j.transfer.Started() {
+				s.ledger.AddWaste(metrics.CatAbortedIO, j.q(), j.transfer.Start(), now)
+			} else {
+				s.chargeWait(j)
+			}
+			s.device.Abort(j.transfer)
+			j.transfer = nil
+		}
+	default:
+		panic(fmt.Sprintf("engine: failure killed job in phase %v", j.phase))
+	}
+	if s.cfg.BurstBuffer != nil {
+		s.bbKillCleanup(j, now)
+	}
+	j.cancelTimers()
+	// Uncommitted work and unsecured I/O die with the instance.
+	s.ledger.AddWasteSeconds(metrics.CatLostWork, j.provisional+j.pendingFlush)
+	j.provisional, j.pendingFlush = 0, 0
+	j.phase = phaseDone
+	s.ledger.AddAllocated(j.q(), j.allocTime, now)
+	if err := s.nodes.Release(j.id); err != nil {
+		panic(err)
+	}
+	s.res.JobsFailed++
+	s.trace("job-killed", j.id, fmt.Sprintf("committed %.0fs of %.0fs", j.spec.committed, j.totalWork()))
+	s.newInstance(j.spec)
+	s.trySchedule()
+}
+
+// finalize attributes in-flight activity at the horizon and builds the
+// Result. The measurement window ends a cooldown before the horizon, so
+// these boundary attributions only affect intervals straddling the window
+// edge.
+func (s *simulation) finalize() Result {
+	now := s.horizon
+	for _, j := range s.runs {
+		switch j.phase {
+		case phaseQueued, phaseDone:
+			continue
+		case phaseCompute, phaseCkptWait:
+			s.pauseCompute(j)
+			if j.phase == phaseCkptWait {
+				s.device.Abort(j.transfer)
+				j.transfer = nil
+			}
+		case phaseCkptBlocked:
+			s.chargeWait(j)
+		case phaseCkptIO:
+			if j.transfer != nil {
+				s.ledger.AddWaste(metrics.CatCheckpoint, j.q(), j.transfer.Start(), now)
+			} else { // burst-buffer commit in progress
+				s.ledger.AddWaste(metrics.CatCheckpoint, j.q(), j.bbStart, now)
+			}
+		case phaseInput, phaseRegular, phaseOutput:
+			switch {
+			case j.transfer == nil: // resilient-buffer recovery read
+				s.ledger.AddWaste(metrics.CatRecovery, j.q(), j.bbStart, now)
+			case j.transfer.Started():
+				start := j.transfer.Start()
+				if j.recovery && j.phase == phaseInput {
+					s.ledger.AddWaste(metrics.CatRecovery, j.q(), start, now)
+				} else {
+					nominal := math.Min(now-start, j.transfer.Volume/s.bw)
+					s.addProvisionalIO(j, start, now, nominal)
+				}
+			default:
+				s.chargeWait(j)
+			}
+		}
+		// Work not yet committed at the horizon would almost surely
+		// commit shortly after; crediting it as useful avoids punishing
+		// the window's tail (the cooldown keeps the effect marginal).
+		s.ledger.AddUsefulSeconds(j.provisional + j.pendingFlush)
+		j.provisional, j.pendingFlush = 0, 0
+		s.ledger.AddAllocated(j.q(), j.allocTime, now)
+	}
+
+	s.res.WasteRatio = s.ledger.WasteRatio()
+	s.res.UsefulNodeSeconds = s.ledger.Useful()
+	s.res.WasteNodeSeconds = s.ledger.Waste()
+	s.res.Utilization = s.ledger.Utilization(s.cfg.Platform.Nodes)
+	s.res.WasteByCategory = make(map[string]float64, len(metrics.Categories()))
+	for _, cat := range metrics.Categories() {
+		s.res.WasteByCategory[cat.String()] = s.ledger.WasteIn(cat)
+	}
+	s.res.Events = s.eng.Executed()
+	s.res.SimulatedSeconds = s.horizon
+	return s.res
+}
+
+// trace emits an event to the configured tracer, if any.
+func (s *simulation) trace(kind string, job int32, note string) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	class := ""
+	if job >= 0 {
+		class = s.runs[job].spec.class.Name
+	}
+	s.cfg.Trace(TraceEvent{Time: s.eng.Now(), Kind: kind, Job: job, Class: class, Note: note})
+}

@@ -1,0 +1,88 @@
+// Package engine assembles the full discrete-event simulation of the
+// paper (§5): workload generation, online first-fit job scheduling,
+// failure injection, the I/O subsystem under one of the four scheduling
+// disciplines, checkpoint policies, and waste accounting over a
+// measurement segment. Monte-Carlo replication with candlestick summaries
+// reproduces the figures of §6.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/iosched"
+)
+
+// Strategy pairs an I/O scheduling discipline with a checkpoint-period
+// policy: the seven variants evaluated in §6.
+type Strategy struct {
+	Discipline iosched.Discipline
+	Policy     ckpt.Policy
+}
+
+// Name returns the paper's label for the strategy, e.g. "Oblivious-Daly"
+// or "Least-Waste".
+func (s Strategy) Name() string {
+	if s.Discipline == iosched.LeastWaste {
+		return "Least-Waste"
+	}
+	return fmt.Sprintf("%s-%s", s.Discipline, s.Policy.Label())
+}
+
+// The seven strategy variants of the evaluation (§3.4, §6). Least-Waste
+// always uses Daly periods ("Fixed checkpointing makes little sense in the
+// Least-Waste strategy", footnote 4).
+func ObliviousFixed() Strategy {
+	return Strategy{Discipline: iosched.Oblivious, Policy: ckpt.FixedPolicy(0)}
+}
+
+// ObliviousDaly is the uncoordinated discipline with Young/Daly periods.
+func ObliviousDaly() Strategy {
+	return Strategy{Discipline: iosched.Oblivious, Policy: ckpt.DalyPolicy()}
+}
+
+// OrderedFixed is the blocking FCFS token discipline with 1-hour periods.
+func OrderedFixed() Strategy {
+	return Strategy{Discipline: iosched.Ordered, Policy: ckpt.FixedPolicy(0)}
+}
+
+// OrderedDaly is the blocking FCFS token discipline with Daly periods.
+func OrderedDaly() Strategy {
+	return Strategy{Discipline: iosched.Ordered, Policy: ckpt.DalyPolicy()}
+}
+
+// OrderedNBFixed is the non-blocking FCFS discipline with 1-hour periods.
+func OrderedNBFixed() Strategy {
+	return Strategy{Discipline: iosched.OrderedNB, Policy: ckpt.FixedPolicy(0)}
+}
+
+// OrderedNBDaly is the non-blocking FCFS discipline with Daly periods.
+func OrderedNBDaly() Strategy {
+	return Strategy{Discipline: iosched.OrderedNB, Policy: ckpt.DalyPolicy()}
+}
+
+// LeastWaste is the §3.5 waste-minimising discipline (Daly periods).
+func LeastWaste() Strategy {
+	return Strategy{Discipline: iosched.LeastWaste, Policy: ckpt.DalyPolicy()}
+}
+
+// AllStrategies returns the seven variants in the paper's legend order.
+func AllStrategies() []Strategy {
+	return []Strategy{
+		ObliviousFixed(), ObliviousDaly(),
+		OrderedFixed(), OrderedDaly(),
+		OrderedNBFixed(), OrderedNBDaly(),
+		LeastWaste(),
+	}
+}
+
+// StrategyByName resolves a paper label (as produced by Strategy.Name) to
+// its Strategy. It reports false for unknown names.
+func StrategyByName(name string) (Strategy, bool) {
+	for _, s := range AllStrategies() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return Strategy{}, false
+}

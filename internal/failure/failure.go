@@ -1,0 +1,120 @@
+// Package failure generates the node-failure process of the simulation
+// (§5): "a set of node failure times according to an exponential
+// distribution with the specified MTBF. At the chosen times, we randomly
+// choose which of the nodes fail."
+//
+// Failures are produced lazily, one at a time, so a simulation that runs
+// longer than planned (e.g. because interference stretched job makespans)
+// keeps receiving failures. A Weibull inter-arrival option is provided as
+// an extension for studying non-memoryless failure processes (cf. the
+// paper's related-work discussion of Weibull failure models); shape 1
+// reduces to the exponential law.
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Model selects the inter-arrival distribution of platform-level failures.
+type Model int
+
+const (
+	// Exponential inter-arrivals (the paper's model).
+	Exponential Model = iota
+	// Weibull inter-arrivals with configurable shape (extension).
+	Weibull
+)
+
+func (m Model) String() string {
+	switch m {
+	case Exponential:
+		return "exponential"
+	case Weibull:
+		return "weibull"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Config describes a failure process.
+type Config struct {
+	Model Model
+	// WeibullShape is the shape parameter k when Model is Weibull
+	// (ignored otherwise). k < 1 gives infant-mortality clustering,
+	// k = 1 the exponential law.
+	WeibullShape float64
+	// NodeMTBFSeconds is the per-node MTBF µ_ind.
+	NodeMTBFSeconds float64
+	// Nodes is the platform size; the system-level failure rate is
+	// Nodes / NodeMTBFSeconds.
+	Nodes int
+	// Disabled suppresses all failures (used for baseline runs).
+	Disabled bool
+}
+
+// Event is one node failure.
+type Event struct {
+	Time float64
+	Node int32
+}
+
+// Source draws a platform failure trace lazily. Not safe for concurrent
+// use.
+type Source struct {
+	cfg   Config
+	r     *rng.RNG
+	now   float64
+	scale float64 // Weibull scale matching the system MTBF
+	count int
+}
+
+// NewSource returns a failure source starting at time 0. It panics on
+// invalid configuration (non-positive MTBF or node count when enabled).
+func NewSource(r *rng.RNG, cfg Config) *Source {
+	s := &Source{cfg: cfg, r: r}
+	if cfg.Disabled {
+		return s
+	}
+	if cfg.Nodes <= 0 {
+		panic("failure: non-positive node count")
+	}
+	if cfg.NodeMTBFSeconds <= 0 || math.IsNaN(cfg.NodeMTBFSeconds) {
+		panic("failure: non-positive node MTBF")
+	}
+	if cfg.Model == Weibull {
+		if cfg.WeibullShape <= 0 {
+			panic("failure: non-positive Weibull shape")
+		}
+		s.scale = rng.WeibullScaleForMean(cfg.WeibullShape, s.systemMTBF())
+	}
+	return s
+}
+
+func (s *Source) systemMTBF() float64 {
+	return s.cfg.NodeMTBFSeconds / float64(s.cfg.Nodes)
+}
+
+// Count returns the number of failures drawn so far.
+func (s *Source) Count() int { return s.count }
+
+// Next returns the next failure strictly after the previous one. When the
+// process is disabled (or the MTBF infinite) it returns an event at +Inf,
+// which callers must treat as "never".
+func (s *Source) Next() Event {
+	if s.cfg.Disabled || math.IsInf(s.cfg.NodeMTBFSeconds, 1) {
+		return Event{Time: math.Inf(1), Node: -1}
+	}
+	var gap float64
+	switch s.cfg.Model {
+	case Weibull:
+		gap = s.r.Weibull(s.cfg.WeibullShape, s.scale)
+	default:
+		gap = s.r.Exponential(s.systemMTBF())
+	}
+	s.now += gap
+	s.count++
+	return Event{Time: s.now, Node: int32(s.r.Intn(s.cfg.Nodes))}
+}

@@ -1,0 +1,137 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func TestExponentialSystemMTBF(t *testing.T) {
+	// Cielo-like: 17888 nodes, 2-year node MTBF -> ~1h system MTBF.
+	cfg := Config{Model: Exponential, NodeMTBFSeconds: units.Years(2), Nodes: 17888}
+	s := NewSource(rng.New(1), cfg)
+	const n = 50000
+	var last float64
+	for i := 0; i < n; i++ {
+		ev := s.Next()
+		if ev.Time <= last {
+			t.Fatalf("failure times not strictly increasing: %v then %v", last, ev.Time)
+		}
+		last = ev.Time
+	}
+	mean := last / n
+	want := units.Years(2) / 17888
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("empirical system MTBF %.1f s, want ~%.1f s", mean, want)
+	}
+	if s.Count() != n {
+		t.Errorf("Count = %d, want %d", s.Count(), n)
+	}
+}
+
+func TestNodesUniform(t *testing.T) {
+	cfg := Config{Model: Exponential, NodeMTBFSeconds: units.Years(1), Nodes: 10}
+	s := NewSource(rng.New(2), cfg)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ev := s.Next()
+		if ev.Node < 0 || int(ev.Node) >= 10 {
+			t.Fatalf("node %d out of range", ev.Node)
+		}
+		counts[ev.Node]++
+	}
+	for node, c := range counts {
+		if math.Abs(float64(c)-n/10.0) > 6*math.Sqrt(n/10.0) {
+			t.Errorf("node %d hit %d times, want ~%d", node, c, n/10)
+		}
+	}
+}
+
+func TestWeibullShapeOneMatchesExponentialMean(t *testing.T) {
+	cfg := Config{Model: Weibull, WeibullShape: 1, NodeMTBFSeconds: units.Years(2), Nodes: 1000}
+	s := NewSource(rng.New(3), cfg)
+	const n = 50000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = s.Next().Time
+	}
+	want := units.Years(2) / 1000
+	if mean := last / n; math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("Weibull(1) system MTBF %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestWeibullShapeHalfPreservesMean(t *testing.T) {
+	cfg := Config{Model: Weibull, WeibullShape: 0.7, NodeMTBFSeconds: units.Years(5), Nodes: 5000}
+	s := NewSource(rng.New(4), cfg)
+	const n = 200000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = s.Next().Time
+	}
+	want := units.Years(5) / 5000
+	if mean := last / n; math.Abs(mean-want)/want > 0.03 {
+		t.Errorf("Weibull(0.7) system MTBF %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	s := NewSource(rng.New(5), Config{Disabled: true})
+	ev := s.Next()
+	if !math.IsInf(ev.Time, 1) {
+		t.Fatalf("disabled source produced failure at %v", ev.Time)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("disabled source counted %d failures", s.Count())
+	}
+}
+
+func TestInfiniteMTBF(t *testing.T) {
+	cfg := Config{Model: Exponential, NodeMTBFSeconds: math.Inf(1), Nodes: 100}
+	s := NewSource(rng.New(6), cfg)
+	if ev := s.Next(); !math.IsInf(ev.Time, 1) {
+		t.Fatalf("infinite MTBF produced failure at %v", ev.Time)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Model: Exponential, NodeMTBFSeconds: units.Years(2), Nodes: 500}
+	a := NewSource(rng.New(7), cfg)
+	b := NewSource(rng.New(7), cfg)
+	for i := 0; i < 1000; i++ {
+		ea, eb := a.Next(), b.Next()
+		if ea != eb {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestInvalidConfigsPanic(t *testing.T) {
+	cases := []Config{
+		{Model: Exponential, NodeMTBFSeconds: 0, Nodes: 10},
+		{Model: Exponential, NodeMTBFSeconds: units.Year, Nodes: 0},
+		{Model: Weibull, WeibullShape: 0, NodeMTBFSeconds: units.Year, Nodes: 10},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewSource(rng.New(1), cfg)
+		}()
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Exponential.String() != "exponential" || Weibull.String() != "weibull" {
+		t.Fatal("Model.String wrong")
+	}
+	if Model(99).String() == "" {
+		t.Fatal("unknown model string empty")
+	}
+}

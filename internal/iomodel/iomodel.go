@@ -1,0 +1,519 @@
+// Package iomodel simulates the time-shared I/O subsystem (PFS) of the
+// platform: an aggregated bandwidth consumed by job input, output,
+// recovery, regular and checkpoint transfers.
+//
+// Two device disciplines cover the paper's strategies:
+//
+//   - SharedDevice: every submitted transfer progresses immediately,
+//     splitting the aggregated bandwidth according to an interference
+//     model. The paper's linear model gives each stream a share
+//     proportional to the job's node count (§2); this is the Oblivious
+//     discipline, and with the Unlimited model it also provides the
+//     interference-free baseline runs.
+//   - TokenDevice: a single I/O token serialises transfers; the granted
+//     transfer runs at full bandwidth while the rest wait. A pluggable
+//     Selector orders the grants (FCFS for Ordered/Ordered-NB; the
+//     Least-Waste heuristic lives in package iosched).
+package iomodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an I/O operation for scheduling and waste accounting.
+type Kind int
+
+const (
+	// Input is a job's initial input load.
+	Input Kind = iota
+	// Recovery is the checkpoint read of a restarted job.
+	Recovery
+	// Regular is mid-execution non-CR application I/O.
+	Regular
+	// Output is a job's final output store.
+	Output
+	// Checkpoint is a CR checkpoint commit.
+	Checkpoint
+	// Drain is an asynchronous burst-buffer-to-PFS checkpoint drain
+	// (§8 extension); like a non-blocking checkpoint, its owner keeps
+	// computing while it waits and transfers.
+	Drain
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Recovery:
+		return "recovery"
+	case Regular:
+		return "regular"
+	case Output:
+		return "output"
+	case Checkpoint:
+		return "checkpoint"
+	case Drain:
+		return "drain"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Transfer is one I/O operation moving Volume bytes for a job of Nodes
+// nodes. The same structure serves both device disciplines; Least-Waste
+// candidate metadata (LastCkptEnd, RecoverySeconds) is filled by the engine
+// for token devices.
+type Transfer struct {
+	Kind   Kind
+	Volume float64 // bytes
+	Nodes  int     // q of the owning job: interference weight, waste weight
+
+	// LastCkptEnd is, for Checkpoint candidates, the time the job's last
+	// checkpoint commit ended (or its compute phase started): the d_j
+	// origin of Equation (2).
+	LastCkptEnd float64
+	// RecoverySeconds is the job's interference-free recovery time R_j.
+	RecoverySeconds float64
+
+	// OnStart fires when the transfer first moves data (immediately on
+	// submission for shared devices; at token grant for token devices).
+	// May be nil.
+	OnStart func(now float64)
+	// OnComplete fires when the last byte lands. Required.
+	OnComplete func(now float64)
+
+	// Bookkeeping (read-only outside this package).
+	arrival   float64
+	start     float64
+	remaining float64
+	seq       uint64
+	state     transferState
+}
+
+type transferState int
+
+const (
+	stateIdle transferState = iota
+	statePending
+	stateActive
+	stateDone
+	stateAborted
+)
+
+// Arrival returns the submission time.
+func (t *Transfer) Arrival() float64 { return t.arrival }
+
+// Start returns the time the transfer first moved data; meaningless unless
+// Started.
+func (t *Transfer) Start() float64 { return t.start }
+
+// Started reports whether the transfer has begun moving data.
+func (t *Transfer) Started() bool { return t.state == stateActive || t.state == stateDone }
+
+// Done reports whether the transfer completed.
+func (t *Transfer) Done() bool { return t.state == stateDone }
+
+// Pending reports whether the transfer is waiting for the I/O token.
+func (t *Transfer) Pending() bool { return t.state == statePending }
+
+// Remaining returns the bytes still to move.
+func (t *Transfer) Remaining() float64 { return t.remaining }
+
+// Device is the engine-facing abstraction over both disciplines.
+type Device interface {
+	// Submit enqueues (token) or starts (shared) the transfer.
+	Submit(t *Transfer)
+	// Abort withdraws a pending or in-flight transfer without firing its
+	// completion callback (used when the owning job is killed).
+	Abort(t *Transfer)
+	// Busy returns the number of transfers currently moving data.
+	Busy() int
+	// Waiting returns the number of transfers queued but not moving.
+	Waiting() int
+	// Bandwidth returns the aggregated device bandwidth in bytes/s.
+	Bandwidth() float64
+}
+
+// InterferenceModel computes per-transfer rates for a shared device.
+type InterferenceModel interface {
+	// Rates fills out[i] with the rate (bytes/s) of the transfer whose
+	// weight is weights[i]. len(out) == len(weights) >= 1.
+	Rates(bandwidth float64, weights []float64, out []float64)
+	Name() string
+}
+
+// LinearShare is the paper's linear interference model: the device
+// sustains its full aggregated throughput, split proportionally to job
+// size (§2: "evenly shared among contending applications, proportional to
+// their size").
+type LinearShare struct{}
+
+// Rates implements InterferenceModel.
+func (LinearShare) Rates(bw float64, weights []float64, out []float64) {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		// Degenerate zero-weight set: split evenly.
+		for i := range out {
+			out[i] = bw / float64(len(out))
+		}
+		return
+	}
+	for i, w := range weights {
+		out[i] = bw * w / total
+	}
+}
+
+func (LinearShare) Name() string { return "linear" }
+
+// Unlimited gives every stream the full bandwidth regardless of
+// contention. It models the interference-free baseline of §6.1 used as the
+// waste-ratio denominator.
+type Unlimited struct{}
+
+// Rates implements InterferenceModel.
+func (Unlimited) Rates(bw float64, _ []float64, out []float64) {
+	for i := range out {
+		out[i] = bw
+	}
+}
+
+func (Unlimited) Name() string { return "unlimited" }
+
+// Degraded is the "more adversarial interference model" the paper's
+// footnote 2 allows substituting: with k concurrent streams the device
+// sustains only bw×Gamma^(k-1) total throughput, split linearly. Gamma=1
+// reduces to LinearShare.
+type Degraded struct {
+	// Gamma in (0,1] is the per-additional-stream efficiency factor.
+	Gamma float64
+}
+
+// Rates implements InterferenceModel.
+func (d Degraded) Rates(bw float64, weights []float64, out []float64) {
+	eff := bw * math.Pow(d.Gamma, float64(len(weights)-1))
+	LinearShare{}.Rates(eff, weights, out)
+}
+
+func (d Degraded) Name() string { return fmt.Sprintf("degraded(%.2f)", d.Gamma) }
+
+// volumeEpsilon is the residual byte count below which a transfer is
+// complete; sub-millibyte residue only ever arises from float round-off.
+const volumeEpsilon = 1e-3
+
+// minWake returns the smallest schedulable progress interval at the given
+// instant. An event scheduled closer than one float64 ulp of `now` lands
+// on the same timestamp, the elapsed time reads as zero, no bytes drain,
+// and the device would re-arm forever at a frozen clock (a Zeno loop).
+// Transfers within this horizon of completion are completed immediately;
+// at simulation scales (days) the interval is well under a millisecond, so
+// the truncation is physically meaningless.
+func minWake(now float64) float64 {
+	return math.Max(1e-9, now*0x1p-33)
+}
+
+// SharedDevice implements processor-sharing I/O: all submitted transfers
+// progress concurrently at rates set by the interference model. Used for
+// the Oblivious strategies and baseline runs.
+type SharedDevice struct {
+	eng    *sim.Engine
+	bw     float64
+	model  InterferenceModel
+	active []*Transfer
+	last   float64 // time active transfers were last advanced
+	wake   *sim.Event
+	seq    uint64
+	// scratch buffers reused across recomputations
+	weights []float64
+	rates   []float64
+}
+
+// NewSharedDevice returns a shared device on the given engine with the
+// given aggregated bandwidth (bytes/s) and interference model.
+func NewSharedDevice(eng *sim.Engine, bandwidth float64, model InterferenceModel) *SharedDevice {
+	if bandwidth <= 0 {
+		panic("iomodel: non-positive bandwidth")
+	}
+	if model == nil {
+		model = LinearShare{}
+	}
+	return &SharedDevice{eng: eng, bw: bandwidth, model: model, last: eng.Now()}
+}
+
+// Bandwidth implements Device.
+func (d *SharedDevice) Bandwidth() float64 { return d.bw }
+
+// Busy implements Device.
+func (d *SharedDevice) Busy() int { return len(d.active) }
+
+// Waiting implements Device. Shared devices never queue.
+func (d *SharedDevice) Waiting() int { return 0 }
+
+// Submit implements Device: the transfer starts moving immediately.
+func (d *SharedDevice) Submit(t *Transfer) {
+	if t.Volume < 0 || t.OnComplete == nil {
+		panic("iomodel: invalid transfer")
+	}
+	now := d.eng.Now()
+	d.advance(now)
+	t.arrival = now
+	t.start = now
+	t.seq = d.seq
+	d.seq++
+	t.remaining = t.Volume
+	t.state = stateActive
+	d.active = append(d.active, t)
+	if t.OnStart != nil {
+		t.OnStart(now)
+	}
+	d.reschedule(now)
+}
+
+// Abort implements Device.
+func (d *SharedDevice) Abort(t *Transfer) {
+	now := d.eng.Now()
+	d.advance(now)
+	for i, a := range d.active {
+		if a == t {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			t.state = stateAborted
+			d.reschedule(now)
+			return
+		}
+	}
+}
+
+// advance applies progress accrued since the last update at the current
+// rates.
+func (d *SharedDevice) advance(now float64) {
+	dt := now - d.last
+	d.last = now
+	if dt <= 0 || len(d.active) == 0 {
+		return
+	}
+	d.computeRates()
+	for i, t := range d.active {
+		t.remaining -= d.rates[i] * dt
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+func (d *SharedDevice) computeRates() {
+	n := len(d.active)
+	if cap(d.weights) < n {
+		d.weights = make([]float64, n)
+		d.rates = make([]float64, n)
+	}
+	d.weights = d.weights[:n]
+	d.rates = d.rates[:n]
+	for i, t := range d.active {
+		d.weights[i] = float64(t.Nodes)
+	}
+	d.model.Rates(d.bw, d.weights, d.rates)
+}
+
+// reschedule completes any finished transfers and arms the wake-up event
+// for the next completion.
+func (d *SharedDevice) reschedule(now float64) {
+	if d.wake != nil {
+		d.wake.Cancel()
+		d.wake = nil
+	}
+	if len(d.active) == 0 {
+		return
+	}
+	// Complete transfers that have drained or are within the minimum
+	// schedulable interval of draining (possibly several at once).
+	// Completion callbacks may submit new transfers re-entrantly; Submit
+	// calls advance (zero elapsed) and reschedule again, so guard against
+	// redundant recursion by completing one and recursing.
+	d.computeRates()
+	floor := minWake(now)
+	for i, t := range d.active {
+		if t.remaining <= volumeEpsilon ||
+			(d.rates[i] > 0 && t.remaining <= d.rates[i]*floor) {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			t.state = stateDone
+			t.remaining = 0
+			t.OnComplete(now)
+			d.reschedule(d.eng.Now())
+			return
+		}
+	}
+	next := math.Inf(1)
+	for i, t := range d.active {
+		if d.rates[i] <= 0 {
+			continue
+		}
+		if eta := t.remaining / d.rates[i]; eta < next {
+			next = eta
+		}
+	}
+	if math.IsInf(next, 1) {
+		panic("iomodel: active transfers with zero aggregate rate")
+	}
+	d.wake = d.eng.After(next, func() {
+		now := d.eng.Now()
+		d.wake = nil
+		d.advance(now)
+		d.reschedule(now)
+	})
+}
+
+// Selector orders token grants among waiting transfers.
+type Selector interface {
+	// Pick returns the index within pending of the transfer to grant
+	// next. pending is non-empty and in arrival order.
+	Pick(now float64, pending []*Transfer) int
+	Name() string
+}
+
+// FCFS grants the token in request-arrival order (the Ordered and
+// Ordered-NB disciplines, §3.2–3.3).
+type FCFS struct{}
+
+// Pick implements Selector.
+func (FCFS) Pick(_ float64, pending []*Transfer) int { return 0 }
+
+func (FCFS) Name() string { return "fcfs" }
+
+// FCFSBackground is FCFS over foreground requests, with burst-buffer
+// drains served only when no foreground request waits — the standard
+// drain-when-idle policy of burst-buffer systems, which prevents long
+// background drains from head-of-line-blocking job I/O.
+type FCFSBackground struct{}
+
+// Pick implements Selector.
+func (FCFSBackground) Pick(_ float64, pending []*Transfer) int {
+	for i, t := range pending {
+		if t.Kind != Drain {
+			return i
+		}
+	}
+	return 0
+}
+
+func (FCFSBackground) Name() string { return "fcfs-background" }
+
+// TokenDevice serialises transfers: one transfer at a time owns the I/O
+// token and moves at full aggregated bandwidth; the Selector chooses the
+// next owner at each release.
+type TokenDevice struct {
+	eng     *sim.Engine
+	bw      float64
+	sel     Selector
+	pending []*Transfer
+	current *Transfer
+	wake    *sim.Event
+	seq     uint64
+}
+
+// NewTokenDevice returns a token device on the given engine.
+func NewTokenDevice(eng *sim.Engine, bandwidth float64, sel Selector) *TokenDevice {
+	if bandwidth <= 0 {
+		panic("iomodel: non-positive bandwidth")
+	}
+	if sel == nil {
+		sel = FCFS{}
+	}
+	return &TokenDevice{eng: eng, bw: bandwidth, sel: sel}
+}
+
+// Bandwidth implements Device.
+func (d *TokenDevice) Bandwidth() float64 { return d.bw }
+
+// Busy implements Device.
+func (d *TokenDevice) Busy() int {
+	if d.current != nil {
+		return 1
+	}
+	return 0
+}
+
+// Waiting implements Device.
+func (d *TokenDevice) Waiting() int { return len(d.pending) }
+
+// Current returns the transfer holding the token, if any.
+func (d *TokenDevice) Current() *Transfer { return d.current }
+
+// Pending returns the waiting transfers in arrival order. The caller must
+// not mutate the slice.
+func (d *TokenDevice) Pending() []*Transfer { return d.pending }
+
+// Submit implements Device: the transfer queues for the token and is
+// granted immediately if the device is idle.
+func (d *TokenDevice) Submit(t *Transfer) {
+	if t.Volume < 0 || t.OnComplete == nil {
+		panic("iomodel: invalid transfer")
+	}
+	t.arrival = d.eng.Now()
+	t.seq = d.seq
+	d.seq++
+	t.remaining = t.Volume
+	t.state = statePending
+	d.pending = append(d.pending, t)
+	d.grant()
+}
+
+// Abort implements Device.
+func (d *TokenDevice) Abort(t *Transfer) {
+	if t == d.current {
+		if d.wake != nil {
+			d.wake.Cancel()
+			d.wake = nil
+		}
+		d.current = nil
+		t.state = stateAborted
+		d.grant()
+		return
+	}
+	for i, p := range d.pending {
+		if p == t {
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			t.state = stateAborted
+			return
+		}
+	}
+}
+
+// grant hands the token to the selector's choice if the device is idle.
+func (d *TokenDevice) grant() {
+	if d.current != nil || len(d.pending) == 0 {
+		return
+	}
+	now := d.eng.Now()
+	idx := d.sel.Pick(now, d.pending)
+	if idx < 0 || idx >= len(d.pending) {
+		panic(fmt.Sprintf("iomodel: selector %s picked %d of %d", d.sel.Name(), idx, len(d.pending)))
+	}
+	t := d.pending[idx]
+	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+	d.current = t
+	t.state = stateActive
+	t.start = now
+	if t.OnStart != nil {
+		t.OnStart(now)
+	}
+	duration := t.Volume / d.bw
+	d.wake = d.eng.After(duration, func() {
+		d.wake = nil
+		d.current = nil
+		t.state = stateDone
+		t.remaining = 0
+		t.OnComplete(d.eng.Now())
+		d.grant()
+	})
+}
+
+// Compile-time interface checks.
+var (
+	_ Device = (*SharedDevice)(nil)
+	_ Device = (*TokenDevice)(nil)
+)

@@ -1,0 +1,145 @@
+// Package iosched implements the I/O scheduling strategies of the paper
+// (§3): the strategy taxonomy shared by the engine and the Least-Waste
+// token selector of §3.5.
+//
+// The four disciplines are:
+//
+//   - Oblivious (§3.1): uncoordinated I/O on a shared device; blocking.
+//   - Ordered (§3.2): blocking FCFS token.
+//   - Ordered-NB (§3.3): FCFS token, non-blocking checkpoint wait.
+//   - Least-Waste (§3.5): non-blocking checkpoint wait with the token
+//     granted to the candidate that minimises the expected platform waste
+//     of Equations (1) and (2).
+//
+// Combined with the Fixed and Daly checkpoint periods (§3.4) these yield
+// the seven strategy variants evaluated in §6 (Least-Waste is only
+// meaningful with Daly periods — footnote 4).
+package iosched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/iomodel"
+)
+
+// Discipline enumerates the I/O scheduling algorithms of §3.
+type Discipline int
+
+const (
+	// Oblivious is the status-quo uncoordinated discipline (§3.1).
+	Oblivious Discipline = iota
+	// Ordered is the blocking FCFS token discipline (§3.2).
+	Ordered
+	// OrderedNB is the non-blocking FCFS token discipline (§3.3).
+	OrderedNB
+	// LeastWaste is the waste-minimising token discipline (§3.5).
+	LeastWaste
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case Oblivious:
+		return "Oblivious"
+	case Ordered:
+		return "Ordered"
+	case OrderedNB:
+		return "Ordered-NB"
+	case LeastWaste:
+		return "Least-Waste"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// UsesToken reports whether the discipline serialises I/O behind the
+// single token (all but Oblivious).
+func (d Discipline) UsesToken() bool { return d != Oblivious }
+
+// NonBlockingCheckpoints reports whether jobs keep computing while their
+// checkpoint request waits for the token.
+func (d Discipline) NonBlockingCheckpoints() bool {
+	return d == OrderedNB || d == LeastWaste
+}
+
+// LeastWasteSelector implements §3.5: at each token release, grant the
+// candidate whose execution would inflict the least expected waste on the
+// other waiting candidates.
+//
+// Candidates split into two categories. IO-candidates (input, output,
+// recovery, regular I/O) have been idle since their request d_j seconds
+// ago; granting a transfer of duration v makes each of them idle v more
+// seconds, wasting q_j(d_j+v) node-seconds (deterministic). Checkpoint
+// candidates keep computing but remain exposed to failure; over v more
+// seconds a failure arrives with probability v/µ_j = v·q_j/µ_ind and costs
+// recovery plus the d_j+v/2 expected seconds of work to re-execute, i.e.
+// q_j²/µ_ind · (R_j + d_j + v/2) node-seconds in expectation.
+type LeastWasteSelector struct {
+	// MuInd is the per-node MTBF µ_ind in seconds.
+	MuInd float64
+	// Bandwidth converts candidate volumes into durations (v_i or C_i).
+	Bandwidth float64
+}
+
+// NewLeastWasteSelector returns the selector; it panics on non-positive
+// parameters.
+func NewLeastWasteSelector(muInd, bandwidth float64) *LeastWasteSelector {
+	if muInd <= 0 || bandwidth <= 0 {
+		panic("iosched: non-positive Least-Waste parameter")
+	}
+	return &LeastWasteSelector{MuInd: muInd, Bandwidth: bandwidth}
+}
+
+// Name implements iomodel.Selector.
+func (s *LeastWasteSelector) Name() string { return "least-waste" }
+
+// Pick implements iomodel.Selector using Equations (1) and (2).
+func (s *LeastWasteSelector) Pick(now float64, pending []*iomodel.Transfer) int {
+	best := 0
+	bestWaste := math.Inf(1)
+	for i := range pending {
+		if w := s.ExpectedWaste(now, pending, i); w < bestWaste {
+			best, bestWaste = i, w
+		}
+	}
+	return best
+}
+
+// ExpectedWaste evaluates Equation (1) (IO candidate) or Equation (2)
+// (checkpoint candidate) for pending[i] against the other candidates.
+// Exported for direct testing and for diagnostic tooling.
+func (s *LeastWasteSelector) ExpectedWaste(now float64, pending []*iomodel.Transfer, i int) float64 {
+	cand := pending[i]
+	dur := cand.Volume / s.Bandwidth // v_i for IO, C_i for checkpoints
+	sum := 0.0
+	for j, other := range pending {
+		if j == i {
+			continue
+		}
+		q := float64(other.Nodes)
+		if other.Kind == iomodel.Checkpoint || other.Kind == iomodel.Drain {
+			// Equation (2) term: probabilistic waste of a computing,
+			// failure-exposed checkpoint candidate. Burst-buffer drains
+			// behave identically: the owner computes while exposed to
+			// failures that cost recovery plus re-execution since its
+			// last durable checkpoint.
+			d := now - other.LastCkptEnd
+			if d < 0 {
+				d = 0
+			}
+			sum += q * q / s.MuInd * (other.RecoverySeconds + d + dur/2)
+		} else {
+			// Equation (1) term: deterministic idle waste of a blocked
+			// IO candidate.
+			d := now - other.Arrival()
+			if d < 0 {
+				d = 0
+			}
+			sum += q * (d + dur)
+		}
+	}
+	return dur * sum
+}
+
+// Compile-time check: LeastWasteSelector is an iomodel.Selector.
+var _ iomodel.Selector = (*LeastWasteSelector)(nil)

@@ -1,0 +1,77 @@
+// Package jobsched implements the online job scheduler of §2/§5: a
+// greedy first-fit scan over a priority-ordered queue. Jobs that fit in
+// the currently free nodes start immediately; failed jobs are resubmitted
+// "at the head of the scheduling queue" with the highest priority so they
+// restart as soon as their nodes are available again.
+package jobsched
+
+// Item is one queued job instance.
+type Item struct {
+	// ID is the runtime job-instance id.
+	ID int32
+	// Nodes is the allocation size.
+	Nodes int
+}
+
+// Queue is a two-band priority queue: urgent items (failure restarts) are
+// always scanned before normal items; within a band, order is FIFO.
+type Queue struct {
+	urgent []Item
+	normal []Item
+}
+
+// PushNormal appends an item to the normal band (initial submission
+// order).
+func (q *Queue) PushNormal(it Item) { q.normal = append(q.normal, it) }
+
+// PushUrgent appends an item to the urgent band (failure restarts; FIFO
+// among restarts).
+func (q *Queue) PushUrgent(it Item) { q.urgent = append(q.urgent, it) }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.urgent) + len(q.normal) }
+
+// UrgentLen returns the number of queued restart items.
+func (q *Queue) UrgentLen() int { return len(q.urgent) }
+
+// FirstFit greedily starts every queued item that fits in the free nodes,
+// scanning urgent then normal items in order and skipping items too large
+// for the remaining count (first-fit with backfilling, the paper's "simple,
+// greedy first-fit algorithm"). start is called for each started item;
+// started items are removed. It returns the number started.
+func (q *Queue) FirstFit(freeNodes int, start func(Item)) int {
+	started := 0
+	scan := func(band []Item) []Item {
+		kept := band[:0]
+		for _, it := range band {
+			if it.Nodes <= freeNodes {
+				freeNodes -= it.Nodes
+				start(it)
+				started++
+			} else {
+				kept = append(kept, it)
+			}
+		}
+		// Zero the tail so removed items do not linger in the backing
+		// array.
+		for i := len(kept); i < len(band); i++ {
+			band[i] = Item{}
+		}
+		return kept
+	}
+	q.urgent = scan(q.urgent)
+	q.normal = scan(q.normal)
+	return started
+}
+
+// Peek returns the highest-priority queued item without removing it; ok is
+// false when the queue is empty.
+func (q *Queue) Peek() (it Item, ok bool) {
+	if len(q.urgent) > 0 {
+		return q.urgent[0], true
+	}
+	if len(q.normal) > 0 {
+		return q.normal[0], true
+	}
+	return Item{}, false
+}

@@ -1,0 +1,174 @@
+package jobsched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func ids(started []Item) []int32 {
+	out := make([]int32, len(started))
+	for i, it := range started {
+		out[i] = it.ID
+	}
+	return out
+}
+
+func collect(q *Queue, free int) []Item {
+	var started []Item
+	q.FirstFit(free, func(it Item) { started = append(started, it) })
+	return started
+}
+
+func TestFirstFitStartsEverythingThatFits(t *testing.T) {
+	q := &Queue{}
+	q.PushNormal(Item{ID: 1, Nodes: 40})
+	q.PushNormal(Item{ID: 2, Nodes: 30})
+	q.PushNormal(Item{ID: 3, Nodes: 20})
+	started := collect(q, 100)
+	if len(started) != 3 || q.Len() != 0 {
+		t.Fatalf("started %v, queue len %d", ids(started), q.Len())
+	}
+}
+
+func TestFirstFitSkipsTooLargeAndBackfills(t *testing.T) {
+	q := &Queue{}
+	q.PushNormal(Item{ID: 1, Nodes: 80})
+	q.PushNormal(Item{ID: 2, Nodes: 50}) // does not fit after 1
+	q.PushNormal(Item{ID: 3, Nodes: 20}) // backfills
+	started := collect(q, 100)
+	got := ids(started)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("started %v, want [1 3]", got)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue len %d, want 1", q.Len())
+	}
+	if it, ok := q.Peek(); !ok || it.ID != 2 {
+		t.Fatalf("Peek = %+v, want item 2", it)
+	}
+}
+
+func TestUrgentBeforeNormal(t *testing.T) {
+	q := &Queue{}
+	q.PushNormal(Item{ID: 1, Nodes: 60})
+	q.PushUrgent(Item{ID: 2, Nodes: 60})
+	started := collect(q, 60)
+	got := ids(started)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("started %v, want urgent item 2 first", got)
+	}
+}
+
+func TestUrgentFIFOAmongRestarts(t *testing.T) {
+	q := &Queue{}
+	q.PushUrgent(Item{ID: 5, Nodes: 10})
+	q.PushUrgent(Item{ID: 6, Nodes: 10})
+	q.PushUrgent(Item{ID: 7, Nodes: 10})
+	started := collect(q, 30)
+	got := ids(started)
+	if len(got) != 3 || got[0] != 5 || got[1] != 6 || got[2] != 7 {
+		t.Fatalf("urgent order %v, want [5 6 7]", got)
+	}
+}
+
+func TestFirstFitZeroFree(t *testing.T) {
+	q := &Queue{}
+	q.PushNormal(Item{ID: 1, Nodes: 1})
+	if n := q.FirstFit(0, func(Item) { t.Fatal("started with zero free") }); n != 0 {
+		t.Fatalf("started %d", n)
+	}
+	if q.Len() != 1 {
+		t.Fatal("item lost")
+	}
+}
+
+func TestPeekEmpty(t *testing.T) {
+	q := &Queue{}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+}
+
+func TestUrgentLen(t *testing.T) {
+	q := &Queue{}
+	q.PushUrgent(Item{ID: 1, Nodes: 1})
+	q.PushNormal(Item{ID: 2, Nodes: 1})
+	if q.UrgentLen() != 1 || q.Len() != 2 {
+		t.Fatalf("UrgentLen=%d Len=%d", q.UrgentLen(), q.Len())
+	}
+}
+
+// Property: FirstFit never over-allocates, preserves FIFO order among
+// started items of the same band, and keeps skipped items in order.
+func TestFirstFitProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		q := &Queue{}
+		var all []rec
+		for i := 0; i < 50; i++ {
+			it := Item{ID: int32(i), Nodes: 1 + r.Intn(40)}
+			urgent := r.Float64() < 0.3
+			if urgent {
+				q.PushUrgent(it)
+			} else {
+				q.PushNormal(it)
+			}
+			all = append(all, rec{it.ID, it.Nodes, urgent})
+		}
+		free := r.Intn(200)
+		var started []Item
+		n := q.FirstFit(free, func(it Item) { started = append(started, it) })
+		if n != len(started) {
+			return false
+		}
+		used := 0
+		for _, it := range started {
+			used += it.Nodes
+		}
+		if used > free {
+			return false
+		}
+		// Replay the greedy scan independently and compare.
+		var want []int32
+		remaining := free
+		for _, band := range [][]rec{filter(all, true), filter(all, false)} {
+			for _, r := range band {
+				if r.nodes <= remaining {
+					remaining -= r.nodes
+					want = append(want, r.id)
+				}
+			}
+		}
+		if len(want) != len(started) {
+			return false
+		}
+		for i := range want {
+			if want[i] != started[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rec records a queued item for the property test's independent replay.
+type rec struct {
+	id     int32
+	nodes  int
+	urgent bool
+}
+
+func filter(all []rec, urgent bool) []rec {
+	var out []rec
+	for _, r := range all {
+		if r.urgent == urgent {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// The generalised model (IOC ≠ C) backs the burst-buffer cooperative
+// period derivation: overhead priced at C, device occupancy at IOC.
+
+// With IOC = C explicitly set, results must match the default exactly.
+func TestGeneralizedReducesToPaperModel(t *testing.T) {
+	base := Input{
+		Classes: []Class{
+			{Name: "a", N: 3, Q: 100, C: 500, R: 500},
+			{Name: "b", N: 1, Q: 400, C: 2000, R: 2000},
+		},
+		Nodes: 1000,
+		MuInd: units.Years(2),
+	}
+	explicit := base
+	explicit.Classes = append([]Class(nil), base.Classes...)
+	for i := range explicit.Classes {
+		explicit.Classes[i].IOC = explicit.Classes[i].C
+	}
+	a, err1 := Solve(base)
+	b, err2 := Solve(explicit)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Solve errors: %v %v", err1, err2)
+	}
+	if a.Lambda != b.Lambda || a.Waste != b.Waste {
+		t.Fatalf("IOC=C solution differs from default: %+v vs %+v", a, b)
+	}
+	for i := range a.Periods {
+		if a.Periods[i] != b.Periods[i] {
+			t.Fatalf("period %d differs: %v vs %v", i, a.Periods[i], b.Periods[i])
+		}
+	}
+}
+
+// Burst-buffer shape: cheap commits (small C) with expensive drains
+// (large IOC). Unconstrained, the period is Daly on the commit time; the
+// binding constraint stretches it just enough for the drains to fit.
+func TestGeneralizedBurstBufferShape(t *testing.T) {
+	in := Input{
+		Classes: []Class{{Name: "bb", N: 4, Q: 250, C: 25, R: 2000, IOC: 2000}},
+		Nodes:   1000,
+		MuInd:   units.Years(2),
+	}
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Daly on C alone: sqrt(2 * (mu/q) * C).
+	dalyOnCommit := math.Sqrt(2 * in.MuInd / 250 * 25)
+	if !sol.Constrained {
+		t.Fatalf("drain occupancy 4×2000/%v should bind the device", dalyOnCommit)
+	}
+	if sol.Periods[0] <= dalyOnCommit {
+		t.Fatalf("constrained period %v not stretched beyond Daly-on-commit %v", sol.Periods[0], dalyOnCommit)
+	}
+	// At the optimum the device is exactly full.
+	if math.Abs(sol.IOFraction-1) > 1e-9 {
+		t.Fatalf("F = %v, want 1 at the binding constraint", sol.IOFraction)
+	}
+	// The drain fraction at the period confirms F's definition uses IOC.
+	if f := 4 * 2000 / sol.Periods[0]; math.Abs(f-1) > 1e-9 {
+		t.Fatalf("n·IOC/P = %v, want 1", f)
+	}
+}
+
+// Negative IOC is rejected; zero means "defaults to C".
+func TestGeneralizedValidation(t *testing.T) {
+	in := Input{
+		Classes: []Class{{N: 1, Q: 10, C: 10, R: 10, IOC: -1}},
+		Nodes:   100,
+		MuInd:   units.Year,
+	}
+	if _, err := Solve(in); err == nil {
+		t.Fatal("negative IOC accepted")
+	}
+}
+
+// Property: the constrained optimum with arbitrary (C, IOC) pairs still
+// satisfies F ≤ 1, periods at least Daly-on-C, and beats random feasible
+// perturbations.
+func TestGeneralizedOptimalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nodes := 500 + float64(r.Intn(50000))
+		k := 1 + r.Intn(4)
+		classes := make([]Class, k)
+		for i := range classes {
+			q := 1 + float64(r.Intn(int(nodes)))
+			classes[i] = Class{
+				N:   r.Float64() * nodes / q,
+				Q:   q,
+				C:   1 + r.Float64()*500,
+				R:   r.Float64() * 2000,
+				IOC: 1 + r.Float64()*5000,
+			}
+		}
+		in := Input{Classes: classes, Nodes: nodes, MuInd: units.Years(1 + r.Float64()*20)}
+		sol, err := Solve(in)
+		if err != nil {
+			return false
+		}
+		if sol.IOFraction > 1+1e-9 {
+			return false
+		}
+		for i, c := range classes {
+			dalyOnC := math.Sqrt(2 * in.MuInd / c.Q * c.C)
+			if sol.Periods[i] < dalyOnC-1e-9*dalyOnC {
+				return false
+			}
+		}
+		// Random feasible perturbations must not beat the optimum.
+		for trial := 0; trial < 20; trial++ {
+			pert := make([]float64, k)
+			for i := range pert {
+				pert[i] = sol.Periods[i] * (0.5 + r.Float64()*1.5)
+			}
+			w, fio, err := WasteAtPeriods(in, pert)
+			if err != nil {
+				return false
+			}
+			if fio <= 1 && w < sol.Waste-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// WasteAtPeriods must price the I/O fraction at IOC but the waste at C.
+func TestWasteAtPeriodsUsesBothPrices(t *testing.T) {
+	in := Input{
+		Classes: []Class{{N: 2, Q: 100, C: 50, R: 100, IOC: 400}},
+		Nodes:   200,
+		MuInd:   units.Years(2),
+	}
+	p := []float64{10000.0}
+	w, f, err := WasteAtPeriods(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := 2 * 400 / 10000.0
+	if math.Abs(f-wantF) > 1e-12 {
+		t.Fatalf("F = %v, want %v", f, wantF)
+	}
+	wantW := 2 * 100.0 / 200 * (50/10000.0 + 100.0/in.MuInd*(10000.0/2+100))
+	if math.Abs(w-wantW) > 1e-12*wantW {
+		t.Fatalf("W = %v, want %v", w, wantW)
+	}
+}

@@ -1,0 +1,313 @@
+// Package lowerbound implements the steady-state analysis of §4 of the
+// paper: the optimal checkpoint periods under an I/O-bandwidth constraint
+// and the resulting lower bound on platform waste (Theorem 1).
+//
+// In steady state, n_i jobs of class A_i run concurrently on q_i nodes
+// each, checkpointing in C_i seconds when granted the full bandwidth. The
+// waste of one job with period P_i is (Equation 3)
+//
+//	W_i = C_i/P_i + q_i/µ · (P_i/2 + R_i)
+//
+// and the platform waste is the node-weighted mean (Equation 4). Without
+// I/O constraints each class would use its Young/Daly period (Equation 5),
+// but checkpoints must share the device: the total I/O usage fraction
+// F = Σ n_i C_i / P_i cannot exceed 1 (Equation 6). The KKT conditions
+// give the constrained optimum (Equation 8)
+//
+//	P_i(λ) = sqrt( 2µN/q_i² · (q_i/N + λ) · C_i )
+//
+// with λ ≥ 0 the smallest multiplier satisfying F ≤ 1. λ has no closed
+// form; Solve finds it numerically (F is strictly decreasing in λ, so
+// bisection converges globally). Because Equation (6) is necessary but not
+// sufficient (the checkpoints must also be orchestrated into a feasible
+// schedule), the resulting waste is a lower bound on what any strategy can
+// achieve (§4).
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Class is one application class in the steady-state model.
+type Class struct {
+	Name string
+	// N is n_i, the steady-state number of concurrent jobs (fractional
+	// values are meaningful: a class may not always be running).
+	N float64
+	// Q is q_i, the nodes per job.
+	Q float64
+	// C is the interference-free checkpoint commit time in seconds: the
+	// per-period overhead the job pays.
+	C float64
+	// R is the interference-free recovery read time in seconds.
+	R float64
+	// IOC is the shared-device occupancy per checkpoint in seconds,
+	// when it differs from C (zero means IOC = C, the paper's model).
+	// The burst-buffer extension uses IOC = PFS drain time with C = the
+	// (cheap) buffer commit time: jobs pay C per period, the device
+	// pays IOC. The KKT derivation generalises directly:
+	//
+	//	P_i(λ) = sqrt( 2µN/q_i² · (q_i/N · C_i + λ · IOC_i) )
+	//
+	// which reduces to Equation (8) when IOC = C.
+	IOC float64
+}
+
+// ioc returns the device occupancy, defaulting to C.
+func (c Class) ioc() float64 {
+	if c.IOC > 0 {
+		return c.IOC
+	}
+	return c.C
+}
+
+// Input bundles the model parameters.
+type Input struct {
+	Classes []Class
+	// Nodes is the platform size N.
+	Nodes float64
+	// MuInd is the per-node MTBF µ_ind in seconds.
+	MuInd float64
+}
+
+// Solution is the constrained optimum of Theorem 1.
+type Solution struct {
+	// Lambda is the KKT multiplier; zero when the I/O constraint is
+	// inactive and every class runs at its Daly period.
+	Lambda float64
+	// Periods are the optimal checkpoint periods P_i (seconds).
+	Periods []float64
+	// DalyPeriods are the unconstrained optima of Equation (5).
+	DalyPeriods []float64
+	// IOFraction is F = Σ n_i C_i / P_i at the optimal periods.
+	IOFraction float64
+	// Waste is the platform waste lower bound of Equation (7).
+	Waste float64
+	// PerClassWaste are the W_i of Equation (3) at the optimal periods.
+	PerClassWaste []float64
+	// Constrained reports whether the bandwidth constraint was active
+	// (λ > 0, i.e. the Daly periods alone would oversubscribe the
+	// device).
+	Constrained bool
+}
+
+// FromWorkload builds the model input from an instantiated workload: n_i
+// are the steady-state job counts at the target shares and C_i = R_i the
+// commit times at the platform's aggregated bandwidth.
+func FromWorkload(p platform.Platform, params []workload.ClassParams) Input {
+	n := workload.SteadyStateJobs(p, params)
+	classes := make([]Class, len(params))
+	for i, cp := range params {
+		classes[i] = Class{
+			Name: cp.Name,
+			N:    n[i],
+			Q:    float64(cp.Nodes),
+			C:    cp.CkptSeconds(p.BandwidthBps),
+			R:    cp.RecoverySeconds(p.BandwidthBps),
+		}
+	}
+	return Input{Classes: classes, Nodes: float64(p.Nodes), MuInd: p.NodeMTBFSeconds}
+}
+
+// Validate reports the first parameter error.
+func (in Input) Validate() error {
+	if len(in.Classes) == 0 {
+		return fmt.Errorf("lowerbound: no classes")
+	}
+	if in.Nodes <= 0 {
+		return fmt.Errorf("lowerbound: non-positive node count %v", in.Nodes)
+	}
+	if in.MuInd <= 0 || math.IsNaN(in.MuInd) {
+		return fmt.Errorf("lowerbound: non-positive node MTBF %v", in.MuInd)
+	}
+	for _, c := range in.Classes {
+		if c.N < 0 {
+			return fmt.Errorf("lowerbound: class %q negative job count", c.Name)
+		}
+		if c.Q <= 0 {
+			return fmt.Errorf("lowerbound: class %q non-positive node count", c.Name)
+		}
+		if c.C <= 0 {
+			return fmt.Errorf("lowerbound: class %q non-positive checkpoint time", c.Name)
+		}
+		if c.R < 0 {
+			return fmt.Errorf("lowerbound: class %q negative recovery time", c.Name)
+		}
+		if c.IOC < 0 {
+			return fmt.Errorf("lowerbound: class %q negative I/O occupancy", c.Name)
+		}
+	}
+	return nil
+}
+
+// periodAt evaluates Equation (8) — generalised for IOC ≠ C — for class i
+// at multiplier lambda.
+func (in Input) periodAt(i int, lambda float64) float64 {
+	c := in.Classes[i]
+	return math.Sqrt(2 * in.MuInd * in.Nodes / (c.Q * c.Q) * (c.Q/in.Nodes*c.C + lambda*c.ioc()))
+}
+
+// ioFraction evaluates Equation (6)'s left-hand side at the given periods.
+func (in Input) ioFraction(periods []float64) float64 {
+	f := 0.0
+	for i, c := range in.Classes {
+		f += c.N * c.ioc() / periods[i]
+	}
+	return f
+}
+
+// classWaste evaluates Equation (3) for class i at period p.
+func (in Input) classWaste(i int, p float64) float64 {
+	c := in.Classes[i]
+	return c.C/p + c.Q/in.MuInd*(p/2+c.R)
+}
+
+// platformWaste evaluates Equation (7) at the given periods.
+func (in Input) platformWaste(periods []float64) float64 {
+	w := 0.0
+	for i, c := range in.Classes {
+		w += c.N * c.Q / in.Nodes * in.classWaste(i, periods[i])
+	}
+	return w
+}
+
+// bisectionIters bounds λ to ~1e-15 relative precision; F(λ) is smooth so
+// 200 halvings are far more than enough for float64.
+const bisectionIters = 200
+
+// Solve computes Theorem 1: the optimal periods, the KKT multiplier and
+// the platform-waste lower bound.
+func Solve(in Input) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	k := len(in.Classes)
+	sol := Solution{
+		Periods:       make([]float64, k),
+		DalyPeriods:   make([]float64, k),
+		PerClassWaste: make([]float64, k),
+	}
+	for i, c := range in.Classes {
+		// Equation (5) with the exact (possibly fractional) q_i; at
+		// λ = 0, Equation (8) reduces to the same value.
+		sol.DalyPeriods[i] = math.Sqrt(2 * in.MuInd / c.Q * c.C)
+		sol.Periods[i] = in.periodAt(i, 0)
+	}
+	if f := in.ioFraction(sol.Periods); f <= 1 {
+		// Constraint inactive: Daly periods are optimal (λ = 0).
+		sol.IOFraction = f
+		sol.Waste = in.platformWaste(sol.Periods)
+		for i := range in.Classes {
+			sol.PerClassWaste[i] = in.classWaste(i, sol.Periods[i])
+		}
+		return sol, nil
+	}
+
+	// F(λ) is continuous and strictly decreasing to 0; find an upper
+	// bracket then bisect for the smallest λ with F(λ) ≤ 1.
+	lo, hi := 0.0, 1.0
+	fAt := func(lambda float64) float64 {
+		periods := make([]float64, k)
+		for i := range in.Classes {
+			periods[i] = in.periodAt(i, lambda)
+		}
+		return in.ioFraction(periods)
+	}
+	for fAt(hi) > 1 {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return Solution{}, fmt.Errorf("lowerbound: cannot satisfy I/O constraint (F unbounded)")
+		}
+	}
+	for iter := 0; iter < bisectionIters; iter++ {
+		mid := (lo + hi) / 2
+		if fAt(mid) > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	sol.Lambda = hi // smallest bracketed λ with F ≤ 1
+	sol.Constrained = true
+	for i := range in.Classes {
+		sol.Periods[i] = in.periodAt(i, sol.Lambda)
+		sol.PerClassWaste[i] = in.classWaste(i, sol.Periods[i])
+	}
+	sol.IOFraction = in.ioFraction(sol.Periods)
+	sol.Waste = in.platformWaste(sol.Periods)
+	return sol, nil
+}
+
+// WasteAtPeriods evaluates the platform waste (Equation 7) and I/O
+// fraction (Equation 6) for caller-supplied periods, e.g. to score a
+// heuristic schedule against the optimum.
+func WasteAtPeriods(in Input, periods []float64) (waste, ioFraction float64, err error) {
+	if err := in.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if len(periods) != len(in.Classes) {
+		return 0, 0, fmt.Errorf("lowerbound: %d periods for %d classes", len(periods), len(in.Classes))
+	}
+	for i, p := range periods {
+		if p <= 0 {
+			return 0, 0, fmt.Errorf("lowerbound: non-positive period for class %d", i)
+		}
+	}
+	return in.platformWaste(periods), in.ioFraction(periods), nil
+}
+
+// MinBandwidthForWaste returns the smallest aggregated bandwidth (bytes/s)
+// at which the theoretical lower bound meets the target waste ratio, by
+// bisection over the bandwidth (the Figure 3 theory series uses target
+// 0.2, i.e. 80% efficiency). The search brackets within [lo, hi]; it
+// returns an error if even hi cannot reach the target.
+func MinBandwidthForWaste(p platform.Platform, classes []workload.Class, target, lo, hi float64) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("lowerbound: target waste %v outside (0,1)", target)
+	}
+	if lo <= 0 || hi <= lo {
+		return 0, fmt.Errorf("lowerbound: invalid bandwidth bracket [%v, %v]", lo, hi)
+	}
+	wasteAt := func(bw float64) (float64, error) {
+		pp := p
+		pp.BandwidthBps = bw
+		params, err := workload.Instantiate(pp, classes)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := Solve(FromWorkload(pp, params))
+		if err != nil {
+			return 0, err
+		}
+		return sol.Waste, nil
+	}
+	wHi, err := wasteAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if wHi > target {
+		return 0, fmt.Errorf("lowerbound: waste %v at bracket top %v still above target %v", wHi, hi, target)
+	}
+	if wLo, err := wasteAt(lo); err != nil {
+		return 0, err
+	} else if wLo <= target {
+		return lo, nil
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		w, err := wasteAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if w > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,196 @@
+// Package metrics implements the resource-waste accounting of §5: every
+// allocated node-second inside the measurement window is classified as
+// useful (progress that survives, plus non-CR I/O at its interference-free
+// duration) or as one of several waste categories. The waste ratio of the
+// figures is waste / (useful + waste) over the window.
+//
+// The window excludes the first and last day of the simulated segment
+// ("during the first day, jobs may be synchronized artificially ... and
+// during the last day, large amounts of resources may not be used").
+// All Add* methods clip the supplied interval to the window, so callers
+// simply report real intervals.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Category classifies wasted node-time.
+type Category int
+
+const (
+	// CatCheckpoint is time spent committing checkpoints (including
+	// contention dilation of the commit itself).
+	CatCheckpoint Category = iota
+	// CatWait is time a job idles blocked on the I/O token.
+	CatWait
+	// CatDilation is the part of a non-CR I/O beyond its
+	// interference-free duration (bandwidth-sharing slowdown).
+	CatDilation
+	// CatRecovery is restart recovery-read time.
+	CatRecovery
+	// CatLostWork is committed-to-nothing compute time discarded by a
+	// failure (work since the last committed checkpoint).
+	CatLostWork
+	// CatAbortedIO is I/O time on transfers a failure destroyed.
+	CatAbortedIO
+
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatCheckpoint:
+		return "checkpoint"
+	case CatWait:
+		return "wait"
+	case CatDilation:
+		return "dilation"
+	case CatRecovery:
+		return "recovery"
+	case CatLostWork:
+		return "lost-work"
+	case CatAbortedIO:
+		return "aborted-io"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all waste categories in order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Ledger accumulates classified node-seconds over a measurement window.
+type Ledger struct {
+	w0, w1    float64
+	useful    float64
+	waste     [numCategories]float64
+	allocated float64
+}
+
+// NewLedger returns a ledger measuring over [w0, w1]. It panics if the
+// window is empty or reversed.
+func NewLedger(w0, w1 float64) *Ledger {
+	if !(w1 > w0) || math.IsNaN(w0) || math.IsNaN(w1) {
+		panic(fmt.Sprintf("metrics: invalid window [%v, %v]", w0, w1))
+	}
+	return &Ledger{w0: w0, w1: w1}
+}
+
+// Window returns the measurement bounds.
+func (l *Ledger) Window() (w0, w1 float64) { return l.w0, l.w1 }
+
+// Clip returns the length of [a, b] ∩ [w0, w1] (zero if disjoint or
+// reversed).
+func (l *Ledger) Clip(a, b float64) float64 {
+	lo := math.Max(a, l.w0)
+	hi := math.Min(b, l.w1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// AddUseful credits q nodes over [a, b] as useful time.
+func (l *Ledger) AddUseful(q int, a, b float64) {
+	l.useful += float64(q) * l.Clip(a, b)
+}
+
+// AddUsefulSeconds credits pre-clipped useful node-seconds directly (used
+// when flushing a provisional-work ledger kept by the caller).
+func (l *Ledger) AddUsefulSeconds(nodeSeconds float64) {
+	l.useful += nodeSeconds
+}
+
+// AddWaste charges q nodes over [a, b] to the given waste category.
+func (l *Ledger) AddWaste(cat Category, q int, a, b float64) {
+	l.waste[cat] += float64(q) * l.Clip(a, b)
+}
+
+// AddWasteSeconds charges pre-clipped wasted node-seconds directly.
+func (l *Ledger) AddWasteSeconds(cat Category, nodeSeconds float64) {
+	l.waste[cat] += nodeSeconds
+}
+
+// AddIO splits a completed non-CR I/O interval [a, b] whose
+// interference-free duration is nominal: the nominal fraction is useful,
+// the dilation is waste. The attribution is spread uniformly over the
+// interval so that window clipping remains exact when the interval
+// straddles a window edge.
+func (l *Ledger) AddIO(q int, a, b, nominal float64) {
+	length := b - a
+	if length <= 0 {
+		return
+	}
+	clipped := l.Clip(a, b)
+	if clipped <= 0 {
+		return
+	}
+	frac := nominal / length
+	if frac > 1 {
+		frac = 1
+	}
+	l.useful += float64(q) * clipped * frac
+	l.waste[CatDilation] += float64(q) * clipped * (1 - frac)
+}
+
+// AddAllocated records that q nodes were held (allocated to a job) over
+// [a, b], for utilisation reporting.
+func (l *Ledger) AddAllocated(q int, a, b float64) {
+	l.allocated += float64(q) * l.Clip(a, b)
+}
+
+// Useful returns accumulated useful node-seconds.
+func (l *Ledger) Useful() float64 { return l.useful }
+
+// Waste returns total wasted node-seconds.
+func (l *Ledger) Waste() float64 {
+	total := 0.0
+	for _, w := range l.waste {
+		total += w
+	}
+	return total
+}
+
+// WasteIn returns the wasted node-seconds in one category.
+func (l *Ledger) WasteIn(cat Category) float64 { return l.waste[cat] }
+
+// Allocated returns the allocated node-seconds recorded.
+func (l *Ledger) Allocated() float64 { return l.allocated }
+
+// WasteRatio returns waste / (useful + waste), the figure-of-merit of the
+// paper's plots, or 0 when nothing was recorded.
+func (l *Ledger) WasteRatio() float64 {
+	total := l.useful + l.Waste()
+	if total <= 0 {
+		return 0
+	}
+	return l.Waste() / total
+}
+
+// WasteRatioAgainst divides waste by an external baseline denominator
+// (node-seconds), the paper's exact definition when a paired baseline run
+// is available. Returns 0 for a non-positive baseline.
+func (l *Ledger) WasteRatioAgainst(baselineUseful float64) float64 {
+	if baselineUseful <= 0 {
+		return 0
+	}
+	return l.Waste() / baselineUseful
+}
+
+// Utilization returns allocated node-seconds over the window capacity of a
+// platform with the given node count.
+func (l *Ledger) Utilization(nodes int) float64 {
+	capacity := float64(nodes) * (l.w1 - l.w0)
+	if capacity <= 0 {
+		return 0
+	}
+	return l.allocated / capacity
+}

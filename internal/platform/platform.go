@@ -1,0 +1,180 @@
+// Package platform models the shared HPC machine of the paper: a pool of
+// space-shared compute nodes, an aggregated parallel-file-system bandwidth
+// that is time-shared, and a per-node reliability figure.
+//
+// Failure-unit convention. The paper equates a node MTBF of 2 years with a
+// system MTBF of 1 hour on Cielo, and 50 years with 24 hours, which holds
+// for roughly 17 900 failure units; Cielo's 143 104 cores therefore map to
+// 17 888 8-core sockets, the "nodes" this package schedules and fails. The
+// prospective system's 15-year/2.6-hour equivalence confirms its 50 000
+// nodes directly (see DESIGN.md §3).
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Cielo hardware constants (APEX workflows report / paper §6.1).
+const (
+	CieloCores        = 143104
+	CieloCoresPerNode = 8
+	CieloNodes        = CieloCores / CieloCoresPerNode // 17 888 failure units
+	CieloMemoryBytes  = 286 * units.TB
+	// CieloMaxBandwidth is the theoretical peak PFS bandwidth (160 GB/s),
+	// the top of the Figure 1 sweep.
+	CieloMaxBandwidth = 160 * units.GB
+)
+
+// Prospective-system constants (paper §6.2: "7PB of main memory and 50,000
+// compute nodes (e.g. Aurora)").
+const (
+	ProspectiveNodes       = 50000
+	ProspectiveMemoryBytes = 7 * units.PB
+)
+
+// Platform describes one machine configuration.
+type Platform struct {
+	Name string
+	// Nodes is the number of schedulable failure units.
+	Nodes int
+	// MemoryBytes is the aggregate main memory; job footprints are
+	// fractions of it.
+	MemoryBytes float64
+	// BandwidthBps is the aggregated PFS bandwidth shared by all I/O.
+	BandwidthBps float64
+	// NodeMTBFSeconds is the mean time between failures of one node.
+	NodeMTBFSeconds float64
+}
+
+// Cielo returns the Cielo configuration with the given PFS bandwidth
+// (GB/s) and node MTBF (years) — the two parameters swept in Figures 1–2.
+func Cielo(bandwidthGBps, nodeMTBFYears float64) Platform {
+	return Platform{
+		Name:            "Cielo",
+		Nodes:           CieloNodes,
+		MemoryBytes:     CieloMemoryBytes,
+		BandwidthBps:    units.GBps(bandwidthGBps),
+		NodeMTBFSeconds: units.Years(nodeMTBFYears),
+	}
+}
+
+// Prospective returns the future-system configuration of §6.2 with the
+// given PFS bandwidth (GB/s) and node MTBF (years).
+func Prospective(bandwidthGBps, nodeMTBFYears float64) Platform {
+	return Platform{
+		Name:            "Prospective",
+		Nodes:           ProspectiveNodes,
+		MemoryBytes:     ProspectiveMemoryBytes,
+		BandwidthBps:    units.GBps(bandwidthGBps),
+		NodeMTBFSeconds: units.Years(nodeMTBFYears),
+	}
+}
+
+// SystemMTBF returns the platform-level mean time between failures,
+// NodeMTBF / Nodes.
+func (p Platform) SystemMTBF() float64 {
+	return p.NodeMTBFSeconds / float64(p.Nodes)
+}
+
+// Validate reports the first configuration error, if any.
+func (p Platform) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("platform %q: non-positive node count %d", p.Name, p.Nodes)
+	case p.MemoryBytes <= 0:
+		return fmt.Errorf("platform %q: non-positive memory", p.Name)
+	case p.BandwidthBps <= 0:
+		return fmt.Errorf("platform %q: non-positive bandwidth", p.Name)
+	case p.NodeMTBFSeconds <= 0:
+		return fmt.Errorf("platform %q: non-positive node MTBF", p.Name)
+	}
+	return nil
+}
+
+// ErrNotAllocated is returned when releasing a job that holds no nodes.
+var ErrNotAllocated = errors.New("platform: job holds no nodes")
+
+// NoOwner marks a node with no current job in NodeMap lookups.
+const NoOwner int32 = -1
+
+// NodeMap tracks which job instance occupies each node, so that an injected
+// node failure can be mapped to its victim job. Node identities matter only
+// for that lookup; allocation hands out arbitrary free nodes (the paper's
+// hot-spare policy keeps the pool size constant across failures).
+type NodeMap struct {
+	owner []int32           // node -> job id, NoOwner if free
+	free  []int32           // stack of free node indices
+	held  map[int32][]int32 // job id -> nodes held
+}
+
+// NewNodeMap returns a map for n nodes, all free.
+func NewNodeMap(n int) *NodeMap {
+	m := &NodeMap{
+		owner: make([]int32, n),
+		free:  make([]int32, n),
+		held:  make(map[int32][]int32),
+	}
+	for i := range m.owner {
+		m.owner[i] = NoOwner
+		// Pop order is descending index; any deterministic order works.
+		m.free[i] = int32(n - 1 - i)
+	}
+	return m
+}
+
+// Free returns the number of unallocated nodes.
+func (m *NodeMap) Free() int { return len(m.free) }
+
+// Total returns the platform node count.
+func (m *NodeMap) Total() int { return len(m.owner) }
+
+// Allocated returns the number of nodes currently held by jobs.
+func (m *NodeMap) Allocated() int { return len(m.owner) - len(m.free) }
+
+// Allocate reserves q nodes for the given job id. It reports false, without
+// side effects, if fewer than q nodes are free or the job already holds
+// nodes.
+func (m *NodeMap) Allocate(job int32, q int) bool {
+	if q <= 0 || q > len(m.free) {
+		return false
+	}
+	if _, dup := m.held[job]; dup {
+		return false
+	}
+	take := m.free[len(m.free)-q:]
+	m.free = m.free[:len(m.free)-q]
+	nodes := make([]int32, q)
+	copy(nodes, take)
+	for _, n := range nodes {
+		m.owner[n] = job
+	}
+	m.held[job] = nodes
+	return true
+}
+
+// Release frees all nodes held by the job.
+func (m *NodeMap) Release(job int32) error {
+	nodes, ok := m.held[job]
+	if !ok {
+		return ErrNotAllocated
+	}
+	for _, n := range nodes {
+		m.owner[n] = NoOwner
+	}
+	m.free = append(m.free, nodes...)
+	delete(m.held, job)
+	return nil
+}
+
+// Owner returns the job occupying the given node, or NoOwner if it is free.
+func (m *NodeMap) Owner(node int32) int32 {
+	return m.owner[node]
+}
+
+// Holding returns the number of nodes held by the job (0 if none).
+func (m *NodeMap) Holding(job int32) int {
+	return len(m.held[job])
+}

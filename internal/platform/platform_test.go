@@ -1,0 +1,187 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func TestCieloConstants(t *testing.T) {
+	if CieloNodes != 17888 {
+		t.Fatalf("CieloNodes = %d, want 17888 (143104 cores / 8)", CieloNodes)
+	}
+	p := Cielo(160, 2)
+	if p.Nodes != CieloNodes || p.MemoryBytes != 286*units.TB {
+		t.Fatalf("Cielo config wrong: %+v", p)
+	}
+	if p.BandwidthBps != 160e9 {
+		t.Fatalf("Cielo bandwidth = %v", p.BandwidthBps)
+	}
+}
+
+// The paper's calibration: node MTBF of 2 years is "a system MTBF of 1h"
+// on Cielo, and 50 years is "24h of system MTBF" (§6.1, Figs. 1-2).
+func TestCieloSystemMTBFMatchesPaper(t *testing.T) {
+	p := Cielo(160, 2)
+	if got := p.SystemMTBF() / units.Hour; math.Abs(got-1) > 0.03 {
+		t.Errorf("2y node MTBF gives system MTBF %.3f h, paper says ~1h", got)
+	}
+	p = Cielo(160, 50)
+	if got := p.SystemMTBF() / units.Hour; math.Abs(got-24.5) > 0.6 {
+		t.Errorf("50y node MTBF gives system MTBF %.3f h, paper says ~24h", got)
+	}
+}
+
+// §6.2: "a node MTBF is at least 15 years and a system MTBF of 2.6 hours"
+// pins the prospective system at 50 000 nodes.
+func TestProspectiveSystemMTBFMatchesPaper(t *testing.T) {
+	p := Prospective(1000, 15)
+	if got := p.SystemMTBF() / units.Hour; math.Abs(got-2.6) > 0.05 {
+		t.Errorf("15y node MTBF gives system MTBF %.3f h, paper says 2.6h", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Cielo(40, 2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid platform rejected: %v", err)
+	}
+	bad := []Platform{
+		{Name: "x", Nodes: 0, MemoryBytes: 1, BandwidthBps: 1, NodeMTBFSeconds: 1},
+		{Name: "x", Nodes: 1, MemoryBytes: 0, BandwidthBps: 1, NodeMTBFSeconds: 1},
+		{Name: "x", Nodes: 1, MemoryBytes: 1, BandwidthBps: 0, NodeMTBFSeconds: 1},
+		{Name: "x", Nodes: 1, MemoryBytes: 1, BandwidthBps: 1, NodeMTBFSeconds: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid platform %d accepted", i)
+		}
+	}
+}
+
+func TestNodeMapAllocateRelease(t *testing.T) {
+	m := NewNodeMap(100)
+	if m.Free() != 100 || m.Total() != 100 || m.Allocated() != 0 {
+		t.Fatalf("fresh map counts wrong: free=%d total=%d alloc=%d", m.Free(), m.Total(), m.Allocated())
+	}
+	if !m.Allocate(1, 60) {
+		t.Fatal("Allocate(1, 60) failed")
+	}
+	if m.Free() != 40 || m.Holding(1) != 60 {
+		t.Fatalf("after alloc: free=%d holding=%d", m.Free(), m.Holding(1))
+	}
+	if m.Allocate(2, 41) {
+		t.Fatal("Allocate(2, 41) succeeded with only 40 free")
+	}
+	if !m.Allocate(2, 40) {
+		t.Fatal("Allocate(2, 40) failed with exactly 40 free")
+	}
+	if m.Free() != 0 {
+		t.Fatalf("free = %d, want 0", m.Free())
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatalf("Release(1): %v", err)
+	}
+	if m.Free() != 60 || m.Holding(1) != 0 {
+		t.Fatalf("after release: free=%d holding=%d", m.Free(), m.Holding(1))
+	}
+	if err := m.Release(1); err != ErrNotAllocated {
+		t.Fatalf("double release error = %v, want ErrNotAllocated", err)
+	}
+}
+
+func TestNodeMapDoubleAllocateRejected(t *testing.T) {
+	m := NewNodeMap(10)
+	if !m.Allocate(7, 3) {
+		t.Fatal("first allocate failed")
+	}
+	if m.Allocate(7, 2) {
+		t.Fatal("second allocate for same job succeeded")
+	}
+	if m.Free() != 7 {
+		t.Fatalf("failed allocate had side effects: free=%d", m.Free())
+	}
+}
+
+func TestNodeMapOwnership(t *testing.T) {
+	m := NewNodeMap(50)
+	m.Allocate(3, 20)
+	m.Allocate(9, 10)
+	counts := map[int32]int{}
+	for n := int32(0); n < 50; n++ {
+		counts[m.Owner(n)]++
+	}
+	if counts[3] != 20 || counts[9] != 10 || counts[NoOwner] != 20 {
+		t.Fatalf("ownership counts wrong: %v", counts)
+	}
+}
+
+func TestNodeMapZeroOrNegativeAllocation(t *testing.T) {
+	m := NewNodeMap(10)
+	if m.Allocate(1, 0) || m.Allocate(1, -5) {
+		t.Fatal("non-positive allocation accepted")
+	}
+}
+
+// Property: any sequence of allocate/release operations conserves nodes:
+// free + sum(held) == total, and every node has exactly one owner state.
+func TestNodeMapConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 64
+		m := NewNodeMap(n)
+		live := map[int32]int{}
+		nextID := int32(0)
+		for op := 0; op < 200; op++ {
+			if r.Float64() < 0.6 {
+				q := 1 + r.Intn(16)
+				id := nextID
+				nextID++
+				if m.Allocate(id, q) {
+					live[id] = q
+				} else if q <= m.Free() {
+					return false // refused despite room
+				}
+			} else if len(live) > 0 {
+				// Release an arbitrary live job.
+				var id int32
+				k := r.Intn(len(live))
+				for j := range live {
+					if k == 0 {
+						id = j
+						break
+					}
+					k--
+				}
+				if err := m.Release(id); err != nil {
+					return false
+				}
+				delete(live, id)
+			}
+			held := 0
+			for _, q := range live {
+				held += q
+			}
+			if m.Free()+held != n || m.Allocated() != held {
+				return false
+			}
+		}
+		// Ownership map must agree with live set.
+		counts := map[int32]int{}
+		for node := int32(0); node < n; node++ {
+			counts[m.Owner(node)]++
+		}
+		for id, q := range live {
+			if counts[id] != q {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

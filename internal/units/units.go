@@ -1,0 +1,102 @@
+// Package units centralises the physical unit conventions used across the
+// simulator.
+//
+// Throughout this module, simulation time is a plain float64 number of
+// seconds, data volumes are float64 bytes (decimal multiples, matching the
+// GB/s figures of the paper), and bandwidths are float64 bytes per second.
+// This package provides the conversion constants and human-readable
+// formatting helpers so that the numeric conventions live in one place.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decimal byte multiples. The paper quotes bandwidths in GB/s and memory
+// sizes in TB/PB using decimal prefixes.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+	PB = 1e15
+)
+
+// Time constants, in seconds. Year is the 365-day year used when the paper
+// quotes node MTBFs in years.
+const (
+	Second = 1.0
+	Minute = 60.0
+	Hour   = 3600.0
+	Day    = 24 * Hour
+	Year   = 365 * Day
+)
+
+// GBps converts a bandwidth expressed in GB/s into bytes per second.
+func GBps(gb float64) float64 { return gb * GB }
+
+// TBps converts a bandwidth expressed in TB/s into bytes per second.
+func TBps(tb float64) float64 { return tb * TB }
+
+// Hours converts hours into seconds.
+func Hours(h float64) float64 { return h * Hour }
+
+// Days converts days into seconds.
+func Days(d float64) float64 { return d * Day }
+
+// Years converts (365-day) years into seconds.
+func Years(y float64) float64 { return y * Year }
+
+// FormatBytes renders a byte count with a suitable decimal prefix,
+// e.g. 1.5e12 -> "1.50 TB".
+func FormatBytes(b float64) string {
+	abs := math.Abs(b)
+	switch {
+	case abs >= PB:
+		return fmt.Sprintf("%.2f PB", b/PB)
+	case abs >= TB:
+		return fmt.Sprintf("%.2f TB", b/TB)
+	case abs >= GB:
+		return fmt.Sprintf("%.2f GB", b/GB)
+	case abs >= MB:
+		return fmt.Sprintf("%.2f MB", b/MB)
+	case abs >= KB:
+		return fmt.Sprintf("%.2f KB", b/KB)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// FormatBandwidth renders a bytes-per-second figure, e.g. "40.0 GB/s".
+func FormatBandwidth(bps float64) string {
+	abs := math.Abs(bps)
+	switch {
+	case abs >= TB:
+		return fmt.Sprintf("%.2f TB/s", bps/TB)
+	case abs >= GB:
+		return fmt.Sprintf("%.1f GB/s", bps/GB)
+	case abs >= MB:
+		return fmt.Sprintf("%.1f MB/s", bps/MB)
+	default:
+		return fmt.Sprintf("%.0f B/s", bps)
+	}
+}
+
+// FormatDuration renders a duration in seconds using the largest unit that
+// keeps the leading figure readable, e.g. "2.5 h", "36.0 d".
+func FormatDuration(s float64) string {
+	abs := math.Abs(s)
+	switch {
+	case abs >= Year:
+		return fmt.Sprintf("%.2f y", s/Year)
+	case abs >= Day:
+		return fmt.Sprintf("%.2f d", s/Day)
+	case abs >= Hour:
+		return fmt.Sprintf("%.2f h", s/Hour)
+	case abs >= Minute:
+		return fmt.Sprintf("%.2f min", s/Minute)
+	default:
+		return fmt.Sprintf("%.2f s", s)
+	}
+}

@@ -1,0 +1,99 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByteConstants(t *testing.T) {
+	if KB != 1e3 || MB != 1e6 || GB != 1e9 || TB != 1e12 || PB != 1e15 {
+		t.Fatalf("decimal byte constants wrong: %v %v %v %v %v", KB, MB, GB, TB, PB)
+	}
+}
+
+func TestTimeConstants(t *testing.T) {
+	if Minute != 60 {
+		t.Errorf("Minute = %v", Minute)
+	}
+	if Hour != 3600 {
+		t.Errorf("Hour = %v", Hour)
+	}
+	if Day != 86400 {
+		t.Errorf("Day = %v", Day)
+	}
+	if Year != 365*86400 {
+		t.Errorf("Year = %v", Year)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	cases := []struct {
+		got, want float64
+		name      string
+	}{
+		{GBps(40), 40e9, "GBps"},
+		{TBps(2.5), 2.5e12, "TBps"},
+		{Hours(1.5), 5400, "Hours"},
+		{Days(2), 172800, "Days"},
+		{Years(2), 2 * 365 * 86400, "Years"},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{512, "512 B"},
+		{1.5 * KB, "1.50 KB"},
+		{2 * MB, "2.00 MB"},
+		{286 * TB, "286.00 TB"},
+		{7 * PB, "7.00 PB"},
+		{52.4 * TB, "52.40 TB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatBandwidth(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{GBps(40), "40.0 GB/s"},
+		{TBps(1.25), "1.25 TB/s"},
+		{5 * MB, "5.0 MB/s"},
+		{100, "100 B/s"},
+	}
+	for _, c := range cases {
+		if got := FormatBandwidth(c.in); got != c.want {
+			t.Errorf("FormatBandwidth(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{30, "30.00 s"},
+		{90, "1.50 min"},
+		{2 * Hour, "2.00 h"},
+		{36 * Hour, "1.50 d"},
+		{2 * Year, "2.00 y"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.in); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

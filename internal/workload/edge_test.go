@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func TestSharesAndNodeSecondsEmpty(t *testing.T) {
+	params := mustInstantiate(t, cielo())
+	if got := NodeSeconds(nil, params); got != 0 {
+		t.Fatalf("NodeSeconds(nil) = %v", got)
+	}
+	shares := Shares(nil, params)
+	for i, s := range shares {
+		if s != 0 {
+			t.Fatalf("Shares(nil)[%d] = %v", i, s)
+		}
+	}
+}
+
+func TestGenerateSingleClass(t *testing.T) {
+	p := platform.Platform{
+		Name: "single", Nodes: 100, MemoryBytes: units.TB,
+		BandwidthBps: units.GB, NodeMTBFSeconds: units.Year,
+	}
+	classes := []Class{{
+		Name: "only", Share: 1, WorkHours: 5, MachineFraction: 0.25,
+		CkptPctMem: 100,
+	}}
+	params, err := Instantiate(p, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Generate(rng.New(1), p, params, GenConfig{MinDays: 2, Buffer: 1.1, ShareTol: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	// A single class trivially holds 100% share.
+	if s := Shares(jobs, params); math.Abs(s[0]-1) > 1e-12 {
+		t.Fatalf("single-class share = %v", s[0])
+	}
+}
+
+func TestGenerateMaxJobsGuard(t *testing.T) {
+	p := platform.Platform{
+		Name: "guard", Nodes: 1000, MemoryBytes: units.TB,
+		BandwidthBps: units.GB, NodeMTBFSeconds: units.Year,
+	}
+	// Two classes whose job quanta are enormous relative to a 1e-6 share
+	// tolerance: generation cannot converge within a tiny job cap.
+	classes := []Class{
+		{Name: "a", Share: 0.5, WorkHours: 100, MachineFraction: 0.5},
+		{Name: "b", Share: 0.5, WorkHours: 100, MachineFraction: 0.3},
+	}
+	params, err := Instantiate(p, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Generate(rng.New(1), p, params, GenConfig{
+		MinDays: 1, Buffer: 1.0, ShareTol: 1e-7, MaxJobs: 50,
+	})
+	if err == nil {
+		t.Fatal("expected MaxJobs convergence error")
+	}
+	if !strings.Contains(err.Error(), "50 jobs") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestInstantiateMinimumOneNode(t *testing.T) {
+	p := platform.Platform{
+		Name: "small", Nodes: 10, MemoryBytes: units.TB,
+		BandwidthBps: units.GB, NodeMTBFSeconds: units.Year,
+	}
+	classes := []Class{{
+		Name: "tiny", Share: 1, WorkHours: 1, MachineFraction: 0.001,
+	}}
+	params, err := Instantiate(p, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params[0].Nodes != 1 {
+		t.Fatalf("sub-node fraction rounded to %d nodes, want 1", params[0].Nodes)
+	}
+}
+
+func TestRecoverySymmetryAcrossBandwidths(t *testing.T) {
+	params := mustInstantiate(t, cielo())
+	for _, bw := range []float64{units.GBps(40), units.GBps(160)} {
+		for _, cp := range params {
+			if cp.CkptSeconds(bw) != cp.RecoverySeconds(bw) {
+				t.Fatalf("%s: C != R at %v", cp.Name, bw)
+			}
+		}
+	}
+}

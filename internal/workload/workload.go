@@ -1,0 +1,385 @@
+// Package workload implements the paper's application-workload model (§2)
+// and the job-list generator of the simulation framework (§5).
+//
+// A small number of application classes describe the whole job population.
+// Each class fixes a fraction of the machine per job, a mean walltime, and
+// I/O volumes expressed as percentages of the job's memory footprint. The
+// LANL workload of the APEX workflows report (Table 1 of the paper:
+// EAP, LAP, Silverton, VPIC on Cielo) is provided as the canonical
+// instance; arbitrary custom classes are supported through the same types.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// Class is the machine-independent description of an application class.
+type Class struct {
+	Name string
+	// Share is the class's target fraction of the platform's node-time
+	// ("Workload percentage" row of Table 1), in [0,1]. Shares of a class
+	// set must sum to 1.
+	Share float64
+	// WorkHours is the mean work time w of one job; actual durations are
+	// drawn in [0.8w, 1.2w] (§5).
+	WorkHours float64
+	// MachineFraction is the fraction of the machine one job occupies
+	// (cores on the reference machine / total cores). Node counts and
+	// memory footprints on any platform derive from it.
+	MachineFraction float64
+	// InputPctMem, OutputPctMem, CkptPctMem are the initial-input,
+	// final-output and checkpoint sizes as percentages of the job's
+	// memory footprint (Table 1 rows; may exceed 100).
+	InputPctMem  float64
+	OutputPctMem float64
+	CkptPctMem   float64
+	// RegularIOPctMem is the volume of regular (non-CR) I/O performed
+	// during the main execution phase, as a percentage of memory, spread
+	// evenly over RegularIOPhases blocking operations (§2 allows such
+	// I/O; Table 1 specifies none, so the APEX classes use zero).
+	RegularIOPctMem float64
+	RegularIOPhases int
+}
+
+// APEXClasses returns the LANL workload of Table 1: EAP, LAP, Silverton and
+// VPIC, with machine fractions taken on Cielo's 143 104 cores.
+func APEXClasses() []Class {
+	return []Class{
+		{
+			Name:            "EAP",
+			Share:           0.66,
+			WorkHours:       262.4,
+			MachineFraction: 16384.0 / platform.CieloCores,
+			InputPctMem:     3,
+			OutputPctMem:    105,
+			CkptPctMem:      160,
+		},
+		{
+			Name:            "LAP",
+			Share:           0.055,
+			WorkHours:       64,
+			MachineFraction: 4096.0 / platform.CieloCores,
+			InputPctMem:     5,
+			OutputPctMem:    220,
+			CkptPctMem:      185,
+		},
+		{
+			Name:            "Silverton",
+			Share:           0.165,
+			WorkHours:       128,
+			MachineFraction: 32768.0 / platform.CieloCores,
+			InputPctMem:     70,
+			OutputPctMem:    43,
+			CkptPctMem:      350,
+		},
+		{
+			Name:            "VPIC",
+			Share:           0.12,
+			WorkHours:       157.2,
+			MachineFraction: 30000.0 / platform.CieloCores,
+			InputPctMem:     10,
+			OutputPctMem:    270,
+			CkptPctMem:      85,
+		},
+	}
+}
+
+// ClassParams is a Class instantiated on a concrete platform: node counts
+// and byte volumes resolved.
+type ClassParams struct {
+	Class
+	// Index is the class's position in the instantiated set.
+	Index int
+	// Nodes is the per-job allocation in platform nodes.
+	Nodes int
+	// MemoryBytes is the job's memory footprint.
+	MemoryBytes float64
+	// InputBytes, OutputBytes, CkptBytes, RegularIOBytes are resolved
+	// volumes.
+	InputBytes     float64
+	OutputBytes    float64
+	CkptBytes      float64
+	RegularIOBytes float64
+	// WorkSeconds is the mean work duration.
+	WorkSeconds float64
+}
+
+// CkptSeconds returns the interference-free checkpoint commit time C at the
+// given aggregated bandwidth (bytes/s).
+func (cp ClassParams) CkptSeconds(bandwidthBps float64) float64 {
+	return cp.CkptBytes / bandwidthBps
+}
+
+// RecoverySeconds returns the interference-free recovery read time R at the
+// given bandwidth. Read and write bandwidths are symmetric (§5), so R = C.
+func (cp ClassParams) RecoverySeconds(bandwidthBps float64) float64 {
+	return cp.CkptBytes / bandwidthBps
+}
+
+// Instantiate resolves the classes on the platform: node counts are the
+// machine fraction of the platform's nodes (rounded, minimum 1) and memory
+// footprints the same fraction of platform memory.
+func Instantiate(p platform.Platform, classes []Class) ([]ClassParams, error) {
+	if err := ValidateClasses(classes); err != nil {
+		return nil, err
+	}
+	out := make([]ClassParams, len(classes))
+	for i, c := range classes {
+		nodes := int(math.Round(c.MachineFraction * float64(p.Nodes)))
+		if nodes < 1 {
+			nodes = 1
+		}
+		if nodes > p.Nodes {
+			return nil, fmt.Errorf("workload: class %q needs %d nodes, platform has %d", c.Name, nodes, p.Nodes)
+		}
+		mem := c.MachineFraction * p.MemoryBytes
+		out[i] = ClassParams{
+			Class:          c,
+			Index:          i,
+			Nodes:          nodes,
+			MemoryBytes:    mem,
+			InputBytes:     c.InputPctMem / 100 * mem,
+			OutputBytes:    c.OutputPctMem / 100 * mem,
+			CkptBytes:      c.CkptPctMem / 100 * mem,
+			RegularIOBytes: c.RegularIOPctMem / 100 * mem,
+			WorkSeconds:    units.Hours(c.WorkHours),
+		}
+	}
+	return out, nil
+}
+
+// ValidateClasses reports the first specification error in the class set:
+// empty set, non-positive parameters, or shares not summing to 1.
+func ValidateClasses(classes []Class) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("workload: empty class set")
+	}
+	sum := 0.0
+	for _, c := range classes {
+		if c.Share < 0 || c.Share > 1 {
+			return fmt.Errorf("workload: class %q share %v outside [0,1]", c.Name, c.Share)
+		}
+		if c.WorkHours <= 0 {
+			return fmt.Errorf("workload: class %q non-positive work time", c.Name)
+		}
+		if c.MachineFraction <= 0 || c.MachineFraction > 1 {
+			return fmt.Errorf("workload: class %q machine fraction %v outside (0,1]", c.Name, c.MachineFraction)
+		}
+		if c.InputPctMem < 0 || c.OutputPctMem < 0 || c.CkptPctMem < 0 || c.RegularIOPctMem < 0 {
+			return fmt.Errorf("workload: class %q negative I/O percentage", c.Name)
+		}
+		if c.RegularIOPctMem > 0 && c.RegularIOPhases <= 0 {
+			return fmt.Errorf("workload: class %q regular I/O volume without phases", c.Name)
+		}
+		sum += c.Share
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("workload: class shares sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Job is one application instance to schedule. Restart instances created
+// after failures are built by the engine, not the generator.
+type Job struct {
+	// ID is unique within a generated list, assigned after shuffling, so
+	// it equals the job's priority rank (lower runs first).
+	ID int
+	// Class indexes the ClassParams set.
+	Class int
+	// WorkSeconds is this instance's drawn work duration.
+	WorkSeconds float64
+}
+
+// DurationLaw selects the distribution of job durations around the class
+// mean.
+type DurationLaw int
+
+const (
+	// LawUniform20 draws durations uniformly in [0.8w, 1.2w] (§5).
+	LawUniform20 DurationLaw = iota
+	// LawNormal20 draws durations from N(w, (0.2w)^2), truncated at
+	// 0.1w, matching the §2 description.
+	LawNormal20
+)
+
+// GenConfig parameterises job-list generation.
+type GenConfig struct {
+	// MinDays is the minimum execution the generated list must sustain
+	// (the paper uses 60 days).
+	MinDays float64
+	// Buffer multiplies the node-time target so the machine stays full
+	// through the measurement horizon despite scheduling fragmentation.
+	// Values around 1.1–1.3 work well; <1 is rejected.
+	Buffer float64
+	// ShareTol is the maximum allowed deviation of each class's realised
+	// node-time share from its target (the paper uses 1%).
+	ShareTol float64
+	// Law selects the job-duration distribution.
+	Law DurationLaw
+	// MaxJobs caps generation as a runaway guard (0 means 1e6).
+	MaxJobs int
+}
+
+// DefaultGenConfig returns the paper's generation parameters: 60 days
+// minimum, 1% share tolerance, uniform ±20% durations.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{MinDays: 60, Buffer: 1.15, ShareTol: 0.01, Law: LawUniform20}
+}
+
+// Generate draws a randomized job list per §5: classes are instantiated
+// repeatedly — each draw biased toward the class furthest below its target
+// share — until the list represents at least MinDays×Buffer of full-machine
+// node-time and every class's share of the generated node-time is within
+// ShareTol of its target. The returned list is shuffled; list order is
+// priority order (FCFS arrival order).
+func Generate(r *rng.RNG, p platform.Platform, params []ClassParams, cfg GenConfig) ([]Job, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("workload: no class parameters")
+	}
+	if cfg.MinDays <= 0 {
+		return nil, fmt.Errorf("workload: non-positive MinDays %v", cfg.MinDays)
+	}
+	if cfg.Buffer < 1 {
+		return nil, fmt.Errorf("workload: Buffer %v < 1", cfg.Buffer)
+	}
+	if cfg.ShareTol <= 0 {
+		return nil, fmt.Errorf("workload: non-positive ShareTol %v", cfg.ShareTol)
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs == 0 {
+		maxJobs = 1 << 20
+	}
+
+	target := float64(p.Nodes) * units.Days(cfg.MinDays) * cfg.Buffer
+	alloc := make([]float64, len(params))
+	total := 0.0
+	var jobs []Job
+
+	duration := func(cp ClassParams) float64 {
+		w := cp.WorkSeconds
+		switch cfg.Law {
+		case LawNormal20:
+			d := r.Normal(w, 0.2*w)
+			if d < 0.1*w {
+				d = 0.1 * w
+			}
+			return d
+		default:
+			return r.Uniform(0.8*w, 1.2*w)
+		}
+	}
+
+	withinTol := func() bool {
+		if total <= 0 {
+			return false
+		}
+		for i, cp := range params {
+			if math.Abs(alloc[i]/total-cp.Share) > cfg.ShareTol {
+				return false
+			}
+		}
+		return true
+	}
+
+	for total < target || !withinTol() {
+		if len(jobs) >= maxJobs {
+			return nil, fmt.Errorf("workload: generation exceeded %d jobs without meeting %v share tolerance; quantum too coarse for the platform", maxJobs, cfg.ShareTol)
+		}
+		// Sample a class proportionally to its node-time deficit against
+		// the larger of the target and the realised total, so late draws
+		// rebalance shares rather than overshooting further.
+		ref := math.Max(total, target)
+		sumDef := 0.0
+		for i, cp := range params {
+			if d := cp.Share*ref - alloc[i]; d > 0 {
+				sumDef += d
+			}
+		}
+		idx := 0
+		if sumDef <= 0 {
+			// All classes at or above target share (can only happen
+			// transiently): take the most under-represented one.
+			best := math.Inf(1)
+			for i, cp := range params {
+				if e := alloc[i]/total - cp.Share; e < best {
+					best, idx = e, i
+				}
+			}
+		} else {
+			x := r.Float64() * sumDef
+			for i, cp := range params {
+				d := cp.Share*ref - alloc[i]
+				if d <= 0 {
+					continue
+				}
+				if x < d {
+					idx = i
+					break
+				}
+				x -= d
+				idx = i
+			}
+		}
+		cp := params[idx]
+		dur := duration(cp)
+		jobs = append(jobs, Job{Class: idx, WorkSeconds: dur})
+		alloc[idx] += float64(cp.Nodes) * dur
+		total += float64(cp.Nodes) * dur
+	}
+
+	// Shuffle: priority order is the shuffled arrival order (§2: "We
+	// shuffle and simultaneously present all jobs to the scheduler").
+	r.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	return jobs, nil
+}
+
+// NodeSeconds returns the total node-seconds of the job list under the
+// given class parameters.
+func NodeSeconds(jobs []Job, params []ClassParams) float64 {
+	total := 0.0
+	for _, j := range jobs {
+		total += float64(params[j.Class].Nodes) * j.WorkSeconds
+	}
+	return total
+}
+
+// Shares returns each class's fraction of the list's total node-seconds.
+func Shares(jobs []Job, params []ClassParams) []float64 {
+	alloc := make([]float64, len(params))
+	total := 0.0
+	for _, j := range jobs {
+		ns := float64(params[j.Class].Nodes) * j.WorkSeconds
+		alloc[j.Class] += ns
+		total += ns
+	}
+	if total > 0 {
+		for i := range alloc {
+			alloc[i] /= total
+		}
+	}
+	return alloc
+}
+
+// SteadyStateJobs returns n_i, the average number of concurrently running
+// jobs of each class when the machine is fully allocated at the target
+// shares: n_i = Share_i × Nodes / q_i. Used by the steady-state lower
+// bound (§4).
+func SteadyStateJobs(p platform.Platform, params []ClassParams) []float64 {
+	out := make([]float64, len(params))
+	for i, cp := range params {
+		out[i] = cp.Share * float64(p.Nodes) / float64(cp.Nodes)
+	}
+	return out
+}

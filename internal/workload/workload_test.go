@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func cielo() platform.Platform { return platform.Cielo(160, 2) }
+
+func mustInstantiate(t *testing.T, p platform.Platform) []ClassParams {
+	t.Helper()
+	params, err := Instantiate(p, APEXClasses())
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	return params
+}
+
+func TestAPEXTable1Values(t *testing.T) {
+	classes := APEXClasses()
+	if len(classes) != 4 {
+		t.Fatalf("APEX classes = %d, want 4", len(classes))
+	}
+	sum := 0.0
+	for _, c := range classes {
+		sum += c.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("APEX shares sum to %v, want 1", sum)
+	}
+	byName := map[string]Class{}
+	for _, c := range classes {
+		byName[c.Name] = c
+	}
+	eap := byName["EAP"]
+	if eap.Share != 0.66 || eap.WorkHours != 262.4 || eap.CkptPctMem != 160 {
+		t.Errorf("EAP row wrong: %+v", eap)
+	}
+	sil := byName["Silverton"]
+	if sil.InputPctMem != 70 || sil.CkptPctMem != 350 {
+		t.Errorf("Silverton row wrong: %+v", sil)
+	}
+	vpic := byName["VPIC"]
+	if vpic.OutputPctMem != 270 || vpic.CkptPctMem != 85 {
+		t.Errorf("VPIC row wrong: %+v", vpic)
+	}
+	lap := byName["LAP"]
+	if lap.Share != 0.055 || lap.WorkHours != 64 {
+		t.Errorf("LAP row wrong: %+v", lap)
+	}
+}
+
+func TestInstantiateOnCielo(t *testing.T) {
+	params := mustInstantiate(t, cielo())
+	want := map[string]int{"EAP": 2048, "LAP": 512, "Silverton": 4096, "VPIC": 3750}
+	for _, cp := range params {
+		if got := cp.Nodes; got != want[cp.Name] {
+			t.Errorf("%s nodes = %d, want %d", cp.Name, got, want[cp.Name])
+		}
+	}
+	// EAP memory footprint: 16384/143104 of 286 TB = 32.74 TB;
+	// checkpoint 160% of that = 52.39 TB.
+	var eap ClassParams
+	for _, cp := range params {
+		if cp.Name == "EAP" {
+			eap = cp
+		}
+	}
+	wantMem := 16384.0 / 143104.0 * 286 * units.TB
+	if math.Abs(eap.MemoryBytes-wantMem)/wantMem > 1e-12 {
+		t.Errorf("EAP memory = %v, want %v", eap.MemoryBytes, wantMem)
+	}
+	if math.Abs(eap.CkptBytes-1.6*wantMem)/wantMem > 1e-12 {
+		t.Errorf("EAP ckpt = %v, want %v", eap.CkptBytes, 1.6*wantMem)
+	}
+	if math.Abs(eap.InputBytes-0.03*wantMem)/wantMem > 1e-12 {
+		t.Errorf("EAP input = %v, want %v", eap.InputBytes, 0.03*wantMem)
+	}
+	if math.Abs(eap.WorkSeconds-262.4*3600) > 1e-6 {
+		t.Errorf("EAP work seconds = %v", eap.WorkSeconds)
+	}
+}
+
+func TestCkptAndRecoverySeconds(t *testing.T) {
+	params := mustInstantiate(t, cielo())
+	bw := units.GBps(160)
+	for _, cp := range params {
+		c := cp.CkptSeconds(bw)
+		if c <= 0 {
+			t.Errorf("%s: non-positive checkpoint time", cp.Name)
+		}
+		if r := cp.RecoverySeconds(bw); r != c {
+			t.Errorf("%s: R=%v != C=%v under symmetric bandwidth", cp.Name, r, c)
+		}
+	}
+	// EAP at 160 GB/s: 52.39 TB / 160 GB/s = 327.4 s.
+	var eap ClassParams
+	for _, cp := range params {
+		if cp.Name == "EAP" {
+			eap = cp
+		}
+	}
+	if got := eap.CkptSeconds(bw); math.Abs(got-327.4) > 1 {
+		t.Errorf("EAP checkpoint time = %.1f s, want ~327 s", got)
+	}
+}
+
+func TestValidateClassesRejectsBadSpecs(t *testing.T) {
+	ok := APEXClasses()
+	if err := ValidateClasses(ok); err != nil {
+		t.Fatalf("valid classes rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]Class) []Class
+	}{
+		{"empty", func([]Class) []Class { return nil }},
+		{"share sum", func(cs []Class) []Class { cs[0].Share = 0.5; return cs }},
+		{"negative share", func(cs []Class) []Class { cs[0].Share = -0.1; cs[1].Share = 0.875; return cs }},
+		{"zero work", func(cs []Class) []Class { cs[0].WorkHours = 0; return cs }},
+		{"zero fraction", func(cs []Class) []Class { cs[0].MachineFraction = 0; return cs }},
+		{"negative io", func(cs []Class) []Class { cs[0].CkptPctMem = -5; return cs }},
+		{"regular io phases", func(cs []Class) []Class { cs[0].RegularIOPctMem = 10; return cs }},
+	}
+	for _, c := range cases {
+		cs := c.mutate(APEXClasses())
+		if err := ValidateClasses(cs); err == nil {
+			t.Errorf("%s: invalid classes accepted", c.name)
+		}
+	}
+}
+
+func TestInstantiateRejectsOversizedClass(t *testing.T) {
+	p := platform.Platform{Name: "tiny", Nodes: 10, MemoryBytes: units.TB, BandwidthBps: units.GB, NodeMTBFSeconds: units.Year}
+	classes := []Class{{Name: "big", Share: 1, WorkHours: 1, MachineFraction: 1.0}}
+	if _, err := Instantiate(p, classes); err != nil {
+		t.Fatalf("fraction 1.0 should fit exactly: %v", err)
+	}
+}
+
+func TestGenerateMeetsTargets(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	cfg := DefaultGenConfig()
+	r := rng.New(1)
+	jobs, err := Generate(r, p, params, cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	total := NodeSeconds(jobs, params)
+	wantMin := float64(p.Nodes) * units.Days(cfg.MinDays) * cfg.Buffer
+	if total < wantMin {
+		t.Errorf("generated %.3g node-seconds, want >= %.3g", total, wantMin)
+	}
+	shares := Shares(jobs, params)
+	for i, cp := range params {
+		if d := math.Abs(shares[i] - cp.Share); d > cfg.ShareTol {
+			t.Errorf("%s share %.4f deviates %.4f from target %.4f (tol %.3f)",
+				cp.Name, shares[i], d, cp.Share, cfg.ShareTol)
+		}
+	}
+}
+
+func TestGenerateDurationsWithinUniformLaw(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	jobs, err := Generate(rng.New(2), p, params, DefaultGenConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, j := range jobs {
+		w := params[j.Class].WorkSeconds
+		if j.WorkSeconds < 0.8*w-1e-6 || j.WorkSeconds > 1.2*w+1e-6 {
+			t.Fatalf("job duration %v outside [0.8w, 1.2w] for w=%v", j.WorkSeconds, w)
+		}
+	}
+}
+
+func TestGenerateNormalLawTruncated(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	cfg := DefaultGenConfig()
+	cfg.Law = LawNormal20
+	jobs, err := Generate(rng.New(3), p, params, cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, j := range jobs {
+		w := params[j.Class].WorkSeconds
+		if j.WorkSeconds < 0.1*w {
+			t.Fatalf("normal-law duration %v below truncation 0.1w", j.WorkSeconds)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	a, err1 := Generate(rng.New(42), p, params, DefaultGenConfig())
+	b, err2 := Generate(rng.New(42), p, params, DefaultGenConfig())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Generate errors: %v %v", err1, err2)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateIDsArePriorityOrder(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	jobs, err := Generate(rng.New(7), p, params, DefaultGenConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Fatalf("job at position %d has ID %d", i, j.ID)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	bad := []GenConfig{
+		{MinDays: 0, Buffer: 1.1, ShareTol: 0.01},
+		{MinDays: 60, Buffer: 0.5, ShareTol: 0.01},
+		{MinDays: 60, Buffer: 1.1, ShareTol: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(rng.New(1), p, params, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSteadyStateJobs(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	n := SteadyStateJobs(p, params)
+	// EAP: 0.66 * 17888 / 2048 = 5.765
+	if math.Abs(n[0]-0.66*17888/2048) > 1e-9 {
+		t.Errorf("EAP steady-state jobs = %v", n[0])
+	}
+	// Weighted node usage must equal the full machine.
+	total := 0.0
+	for i, cp := range params {
+		total += n[i] * float64(cp.Nodes)
+	}
+	if math.Abs(total-float64(p.Nodes)) > 1e-6*float64(p.Nodes) {
+		t.Errorf("steady-state node usage %v != platform %d", total, p.Nodes)
+	}
+}
+
+// Property: for random seeds, generation always meets both the node-time
+// floor and the share tolerance (the two §5 stopping conditions).
+func TestGenerateTargetsProperty(t *testing.T) {
+	p := cielo()
+	params := mustInstantiate(t, p)
+	cfg := DefaultGenConfig()
+	cfg.MinDays = 20 // keep the property test fast
+	f := func(seed uint64) bool {
+		jobs, err := Generate(rng.New(seed), p, params, cfg)
+		if err != nil {
+			return false
+		}
+		if NodeSeconds(jobs, params) < float64(p.Nodes)*units.Days(cfg.MinDays) {
+			return false
+		}
+		shares := Shares(jobs, params)
+		for i, cp := range params {
+			if math.Abs(shares[i]-cp.Share) > cfg.ShareTol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package repro is a from-scratch Go reproduction of "Optimal Cooperative
+// Checkpointing for Shared High-Performance Computing Platforms" (Hérault,
+// Robert, Bouteiller, Arnold, Ferreira, Bosilca, Dongarra — IPDPS 2018,
+// INRIA RR-9109).
+//
+// The library provides:
+//
+//   - a discrete-event simulator of a space-shared HPC platform whose
+//     parallel-file-system bandwidth is time-shared between application
+//     I/O and checkpoint/restart traffic (§2, §5 of the paper);
+//   - the four I/O scheduling disciplines — Oblivious, Ordered (blocking
+//     FCFS), Ordered-NB (non-blocking FCFS), and Least-Waste — combined
+//     with Fixed and Young/Daly checkpoint periods into the seven strategy
+//     variants of the evaluation (§3);
+//   - the steady-state theoretical lower bound on platform waste under an
+//     I/O-bandwidth constraint (Theorem 1, §4), including the numerical
+//     KKT multiplier;
+//   - the LANL APEX workload (Table 1) instantiated on the Cielo and
+//     prospective-system platforms, plus Monte-Carlo machinery to
+//     regenerate every figure of §6.
+//
+// # Quick start
+//
+//	cfg := repro.Config{
+//		Platform: repro.Cielo(40, 2),      // 40 GB/s PFS, 2-year node MTBF
+//		Classes:  repro.APEXClasses(),     // Table 1 workload
+//		Strategy: repro.LeastWaste(),
+//		Seed:     1,
+//	}
+//	res, err := repro.Run(cfg)             // one 60-day simulation
+//	mc, err := repro.MonteCarlo(cfg, 100, 0) // candlestick over 100 runs
+//
+// The exported identifiers are aliases over the internal packages, so the
+// whole public surface lives here; see DESIGN.md for the architecture and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package repro
+
+import (
+	"repro/internal/burstbuffer"
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/iomodel"
+	"repro/internal/lowerbound"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Core configuration and result types (see the engine package for field
+// documentation).
+type (
+	// Platform describes a machine: nodes, memory, PFS bandwidth, node
+	// MTBF.
+	Platform = platform.Platform
+	// Class is a machine-independent application-class description.
+	Class = workload.Class
+	// ClassParams is a Class instantiated on a platform.
+	ClassParams = workload.ClassParams
+	// GenConfig controls workload generation (§5).
+	GenConfig = workload.GenConfig
+	// Job is one generated application instance.
+	Job = workload.Job
+	// Config specifies one simulation run.
+	Config = engine.Config
+	// Result is one run's measurements.
+	Result = engine.Result
+	// Strategy pairs an I/O discipline with a checkpoint policy.
+	Strategy = engine.Strategy
+	// MCResult aggregates a Monte-Carlo experiment.
+	MCResult = engine.MCResult
+	// Summary is the candlestick statistic set (mean, deciles,
+	// quartiles).
+	Summary = stats.Summary
+	// TraceEvent is one observable simulation transition.
+	TraceEvent = engine.TraceEvent
+	// LowerBoundInput parameterises the §4 steady-state model.
+	LowerBoundInput = lowerbound.Input
+	// LowerBoundClass is one class of the steady-state model.
+	LowerBoundClass = lowerbound.Class
+	// LowerBoundSolution is Theorem 1's constrained optimum.
+	LowerBoundSolution = lowerbound.Solution
+	// InterferenceModel shapes bandwidth sharing on the Oblivious
+	// discipline.
+	InterferenceModel = iomodel.InterferenceModel
+	// FailureModel selects the failure inter-arrival law.
+	FailureModel = failure.Model
+	// BurstBuffer parameterises the §8 two-tier checkpoint extension
+	// (set Config.BurstBuffer to enable).
+	BurstBuffer = burstbuffer.Config
+)
+
+// Interference models for Config.Interference.
+type (
+	// LinearShare is the paper's proportional-share interference model.
+	LinearShare = iomodel.LinearShare
+	// Unlimited disables interference (baseline runs).
+	Unlimited = iomodel.Unlimited
+	// Degraded is the adversarial model of footnote 2: total throughput
+	// decays geometrically with the number of concurrent streams.
+	Degraded = iomodel.Degraded
+)
+
+// Failure models for Config.FailureModel.
+const (
+	// FailuresExponential is the paper's memoryless failure process.
+	FailuresExponential = failure.Exponential
+	// FailuresWeibull enables Weibull inter-arrivals with
+	// Config.WeibullShape (extension).
+	FailuresWeibull = failure.Weibull
+)
+
+// Burst-buffer period models for BurstBuffer.Period.
+const (
+	// BurstBufferPeriodCooperative derives checkpoint periods from the
+	// generalised Theorem 1 (overhead at buffer speed, I/O constraint at
+	// drain occupancy) — the default.
+	BurstBufferPeriodCooperative = burstbuffer.PeriodCooperative
+	// BurstBufferPeriodNaive applies Young/Daly to the buffer-commit
+	// time alone (the documented starved-PFS trap; see EXPERIMENTS.md).
+	BurstBufferPeriodNaive = burstbuffer.PeriodNaive
+)
+
+// Cielo returns the Cielo platform (143 104 cores as 17 888 8-core
+// failure units, 286 TB memory) with the given PFS bandwidth (GB/s) and
+// node MTBF (years).
+func Cielo(bandwidthGBps, nodeMTBFYears float64) Platform {
+	return platform.Cielo(bandwidthGBps, nodeMTBFYears)
+}
+
+// Prospective returns the §6.2 future system (50 000 nodes, 7 PB).
+func Prospective(bandwidthGBps, nodeMTBFYears float64) Platform {
+	return platform.Prospective(bandwidthGBps, nodeMTBFYears)
+}
+
+// APEXClasses returns the LANL workload of Table 1 (EAP, LAP, Silverton,
+// VPIC).
+func APEXClasses() []Class { return workload.APEXClasses() }
+
+// InstantiateClasses resolves classes on a platform (node counts, byte
+// volumes).
+func InstantiateClasses(p Platform, classes []Class) ([]ClassParams, error) {
+	return workload.Instantiate(p, classes)
+}
+
+// DefaultGenConfig returns the paper's workload-generation parameters.
+func DefaultGenConfig() GenConfig { return workload.DefaultGenConfig() }
+
+// The seven strategy variants of §6, in the paper's legend order.
+func ObliviousFixed() Strategy { return engine.ObliviousFixed() }
+
+// ObliviousDaly is uncoordinated I/O with Young/Daly periods.
+func ObliviousDaly() Strategy { return engine.ObliviousDaly() }
+
+// OrderedFixed is blocking FCFS with one-hour periods.
+func OrderedFixed() Strategy { return engine.OrderedFixed() }
+
+// OrderedDaly is blocking FCFS with Young/Daly periods.
+func OrderedDaly() Strategy { return engine.OrderedDaly() }
+
+// OrderedNBFixed is non-blocking FCFS with one-hour periods.
+func OrderedNBFixed() Strategy { return engine.OrderedNBFixed() }
+
+// OrderedNBDaly is non-blocking FCFS with Young/Daly periods.
+func OrderedNBDaly() Strategy { return engine.OrderedNBDaly() }
+
+// LeastWaste is the paper's cooperative waste-minimising strategy (§3.5).
+func LeastWaste() Strategy { return engine.LeastWaste() }
+
+// AllStrategies returns the seven variants in legend order.
+func AllStrategies() []Strategy { return engine.AllStrategies() }
+
+// StrategyByName resolves a label like "Ordered-NB-Daly".
+func StrategyByName(name string) (Strategy, bool) { return engine.StrategyByName(name) }
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) { return engine.Run(cfg) }
+
+// MonteCarlo replicates a configuration over `runs` independent seeds
+// using up to `workers` goroutines (0 = GOMAXPROCS) and summarises the
+// waste ratios.
+func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
+	return engine.MonteCarlo(cfg, runs, workers)
+}
+
+// CompareStrategies evaluates several strategies on identical per-run
+// seeds (paired comparison).
+func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([]MCResult, error) {
+	return engine.CompareStrategies(base, strategies, runs, workers)
+}
+
+// MinBandwidthForEfficiency bisects for the smallest PFS bandwidth
+// (bytes/s) at which the strategy sustains the target efficiency — the
+// Figure 3 experiment.
+func MinBandwidthForEfficiency(cfg Config, targetEfficiency, loBps, hiBps float64, runs, workers, steps int) (float64, error) {
+	return engine.MinBandwidthForEfficiency(cfg, targetEfficiency, loBps, hiBps, runs, workers, steps)
+}
+
+// LowerBound solves Theorem 1 for a platform and class set: the optimal
+// checkpoint periods under the I/O constraint and the platform-waste lower
+// bound.
+func LowerBound(p Platform, classes []Class) (LowerBoundSolution, error) {
+	params, err := workload.Instantiate(p, classes)
+	if err != nil {
+		return LowerBoundSolution{}, err
+	}
+	return lowerbound.Solve(lowerbound.FromWorkload(p, params))
+}
+
+// SolveLowerBound solves Theorem 1 for explicit model inputs.
+func SolveLowerBound(in LowerBoundInput) (LowerBoundSolution, error) {
+	return lowerbound.Solve(in)
+}
+
+// LowerBoundMinBandwidth returns the theory series of Figure 3: the
+// smallest bandwidth (bytes/s) at which the lower bound meets the target
+// waste, searched within [loBps, hiBps].
+func LowerBoundMinBandwidth(p Platform, classes []Class, targetWaste, loBps, hiBps float64) (float64, error) {
+	return lowerbound.MinBandwidthForWaste(p, classes, targetWaste, loBps, hiBps)
+}
+
+// Summarize computes candlestick statistics over arbitrary samples.
+func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// DefaultBurstBuffer returns a typical node-local NVRAM burst-buffer
+// configuration (1 GB/s per node, PFS drains enabled).
+func DefaultBurstBuffer() BurstBuffer { return burstbuffer.Default() }
