@@ -63,7 +63,8 @@ func BenchmarkFigure1WasteVsBandwidth(b *testing.B) {
 		b.Run(fmt.Sprintf("bw=%vGBps", bw), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				base := benchConfig(repro.Cielo(bw, 2), repro.Strategy{})
-				if _, err := repro.CompareStrategies(base, repro.AllStrategies(), benchRuns, 0); err != nil {
+				if _, err := repro.CompareStrategiesOpts(base, repro.AllStrategies(), benchRuns, 0,
+					repro.MCOptions{KeepWasteRatios: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -78,7 +79,8 @@ func BenchmarkFigure2WasteVsMTBF(b *testing.B) {
 		b.Run(fmt.Sprintf("mtbf=%vy", years), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				base := benchConfig(repro.Cielo(40, years), repro.Strategy{})
-				if _, err := repro.CompareStrategies(base, repro.AllStrategies(), benchRuns, 0); err != nil {
+				if _, err := repro.CompareStrategiesOpts(base, repro.AllStrategies(), benchRuns, 0,
+					repro.MCOptions{KeepWasteRatios: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -128,6 +130,43 @@ func BenchmarkLowerBound(b *testing.B) {
 		if !sol.Constrained {
 			b.Fatal("expected constrained solution at 40 GB/s")
 		}
+	}
+}
+
+// BenchmarkEngine measures the standard scenario — one full 60-day
+// Ordered-NB-Daly simulation on Cielo at 40 GB/s with a 2-year node MTBF —
+// and reports events/sec alongside the allocation profile. This is the
+// canonical perf-trajectory benchmark recorded in BENCH_*.json across PRs.
+func BenchmarkEngine(b *testing.B) {
+	cfg := benchConfig(repro.Cielo(40, 2), repro.OrderedNBDaly())
+	cfg.HorizonDays = 60
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		res, err := repro.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkMonteCarloStream measures the O(1)-memory replication path:
+// the per-run cost of a streamed Monte-Carlo experiment, allocations
+// included (the batch path would grow with b.N; this one must not).
+func BenchmarkMonteCarloStream(b *testing.B) {
+	cfg := benchConfig(repro.Cielo(40, 2), repro.OrderedNBDaly())
+	b.ReportAllocs()
+	b.ResetTimer()
+	mc, err := repro.MonteCarloStream(cfg, b.N, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if mc.Summary.N != b.N {
+		b.Fatalf("streamed %d runs, want %d", mc.Summary.N, b.N)
 	}
 }
 

@@ -3,20 +3,28 @@
 // prospective platform, with Monte-Carlo replication and candlestick
 // output.
 //
+// Monte-Carlo replication streams through the engine's O(1)-memory path
+// unless -breakdown needs the per-run details, so -runs scales to paper
+// sizes and beyond without memory growth.
+//
 // Examples:
 //
 //	coopsim -bw 40 -mtbf 2 -runs 100                 # all strategies on Cielo
 //	coopsim -strategy Least-Waste -bw 80 -runs 1000  # one strategy
 //	coopsim -platform prospective -bw 2000 -mtbf 15  # future system
 //	coopsim -tsv > results.tsv                       # machine-readable
+//	coopsim -bench-json BENCH.json                   # perf-trajectory record
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"testing"
 
 	"repro"
 	"repro/internal/units"
@@ -38,8 +46,14 @@ func main() {
 		breakdown    = flag.Bool("breakdown", false, "print mean waste breakdown by category")
 		sweepBW      = flag.String("sweep-bw", "", "sweep bandwidth lo:hi:step (GB/s); repeats the experiment per point")
 		sweepMTBF    = flag.String("sweep-mtbf", "", "sweep node MTBF lo:hi:step (years)")
+		benchJSON    = flag.String("bench-json", "", "benchmark the standard scenario and write a machine-readable JSON record to this path ('-' for stdout)")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		runBenchJSON(*benchJSON)
+		return
+	}
 
 	if *list {
 		for _, s := range repro.AllStrategies() {
@@ -90,7 +104,10 @@ func main() {
 				p.Name, units.FormatBandwidth(p.BandwidthBps), mtbfYears,
 				units.FormatDuration(p.SystemMTBF()), *runs, *days, *seed)
 		}
-		results, err := repro.CompareStrategies(base, strategies, *runs, *workers)
+		// Exact candlesticks need only the waste ratios; the per-run
+		// Result structs are materialised solely for -breakdown.
+		opts := repro.MCOptions{KeepWasteRatios: true, KeepResults: *breakdown}
+		results, err := repro.CompareStrategiesOpts(base, strategies, *runs, *workers, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 			os.Exit(1)
@@ -164,6 +181,63 @@ func parseSweep(s string) (lo, hi, step float64) {
 
 func tsvHeader() string {
 	return "n\tmean\tstddev\tmin\tp10\tp25\tp50\tp75\tp90\tmax"
+}
+
+// runBenchJSON benchmarks the standard scenario (one 60-day
+// Ordered-NB-Daly run on Cielo, 40 GB/s, 2-year node MTBF — the same unit
+// as BenchmarkEngine) and writes a machine-readable record so the perf
+// trajectory is tracked across PRs.
+func runBenchJSON(path string) {
+	cfg := repro.Config{
+		Platform:    repro.Cielo(40, 2),
+		Classes:     repro.APEXClasses(),
+		Strategy:    repro.OrderedNBDaly(),
+		Seed:        1,
+		HorizonDays: 60,
+	}
+	var events uint64
+	var iters int
+	res := testing.Benchmark(func(b *testing.B) {
+		events, iters = 0, 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i)
+			r, err := repro.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+				os.Exit(1)
+			}
+			events += r.Events
+			iters++
+		}
+	})
+	eventsPerOp := float64(events) / float64(iters)
+	record := map[string]any{
+		"scenario":       "cielo-40GBps-mtbf2y-ordered-nb-daly-60d",
+		"go":             runtime.Version(),
+		"iterations":     res.N,
+		"ns_per_op":      res.NsPerOp(),
+		"allocs_per_op":  res.AllocsPerOp(),
+		"bytes_per_op":   res.AllocedBytesPerOp(),
+		"events_per_op":  eventsPerOp,
+		"events_per_sec": eventsPerOp / (float64(res.NsPerOp()) / 1e9),
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%.0f events/sec, %d allocs/op)\n",
+		path, record["events_per_sec"], res.AllocsPerOp())
 }
 
 func printBreakdown(mc repro.MCResult) {

@@ -7,6 +7,10 @@
 //	lowerbound -bw 40 -mtbf 2                 # one point, per-class detail
 //	lowerbound -sweep-bw 40:160:20 -mtbf 2    # Figure 1 theory series
 //	lowerbound -sweep-mtbf 2:50:4 -bw 40      # Figure 2 theory series
+//	lowerbound -bw 40 -simulate Least-Waste -runs 200   # bound vs measured
+//
+// -simulate cross-checks the bound against a streaming Monte-Carlo
+// measurement of the named strategy (O(1) memory at any -runs).
 package main
 
 import (
@@ -27,6 +31,10 @@ func main() {
 		mtbf         = flag.Float64("mtbf", 2, "node MTBF in years")
 		sweepBW      = flag.String("sweep-bw", "", "sweep bandwidth lo:hi:step (GB/s)")
 		sweepMTBF    = flag.String("sweep-mtbf", "", "sweep node MTBF lo:hi:step (years)")
+		simulate     = flag.String("simulate", "", "cross-check the bound against a streaming Monte-Carlo run of this strategy")
+		runs         = flag.Int("runs", 100, "Monte-Carlo replications for -simulate")
+		days         = flag.Float64("days", 60, "simulated segment length for -simulate")
+		seed         = flag.Uint64("seed", 1, "master random seed for -simulate")
 	)
 	flag.Parse()
 
@@ -78,7 +86,33 @@ func main() {
 			fmt.Printf("%-12s %10.1f %12.1f %12.1f %10.4f\n",
 				cp.Name, cp.CkptSeconds(p.BandwidthBps), sol.DalyPeriods[i], sol.Periods[i], sol.PerClassWaste[i])
 		}
+		if *simulate != "" {
+			simulateCheck(p, *simulate, sol.Waste, *runs, *days, *seed)
+		}
 	}
+}
+
+// simulateCheck measures the named strategy's waste with the streaming
+// Monte-Carlo path and prints it next to the theoretical bound.
+func simulateCheck(p repro.Platform, name string, bound float64, runs int, days float64, seed uint64) {
+	strat, ok := repro.StrategyByName(name)
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q", name))
+	}
+	cfg := repro.Config{
+		Platform:    p,
+		Classes:     repro.APEXClasses(),
+		Strategy:    strat,
+		Seed:        seed,
+		HorizonDays: days,
+	}
+	mc, err := repro.MonteCarloStream(cfg, runs, 0, nil)
+	if err != nil {
+		fatal(err)
+	}
+	s := mc.Summary
+	fmt.Printf("\nmeasured %s over %d runs: mean=%.4f box=[%.4f %.4f] (bound %.4f, gap %+.4f)\n",
+		strat.Name(), runs, s.Mean, s.P25, s.P75, bound, s.Mean-bound)
 }
 
 // parseSweep parses "lo:hi:step".

@@ -129,7 +129,10 @@ func sweepPoint(opts options, p repro.Platform, axis string, axisValue float64) 
 		Seed:        opts.seed,
 		HorizonDays: opts.days,
 	}
-	results, err := repro.CompareStrategies(base, repro.AllStrategies(), opts.runs, opts.workers)
+	// Exact candlesticks from the waste ratios alone: paper-scale -runs
+	// never materialises per-run Result structs.
+	results, err := repro.CompareStrategiesOpts(base, repro.AllStrategies(), opts.runs, opts.workers,
+		repro.MCOptions{KeepWasteRatios: true})
 	if err != nil {
 		fatal(err)
 	}

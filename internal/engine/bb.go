@@ -68,10 +68,7 @@ func (s *simulation) bbCkptDue(j *jobRun) {
 	j.transfer = nil
 	j.bbStart = now
 	s.trace("bb-ckpt-start", j.id, "")
-	j.bbTimer = s.eng.After(bb.CommitSeconds(j.spec.class.CkptBytes, j.q()), func() {
-		j.bbTimer = nil
-		s.bbCkptCommitted(j)
-	})
+	j.bbTimer = s.eng.AfterHandler(bb.CommitSeconds(j.spec.class.CkptBytes, j.q()), &j.bbCommitArm)
 }
 
 // bbCkptCommitted finishes a buffer commit: the image is durable
@@ -111,24 +108,29 @@ func (s *simulation) submitDrain(j *jobRun) {
 		s.device.Abort(j.drain)
 		j.drain = nil
 	}
-	snap := j.snapshot
-	tr := &iomodel.Transfer{
+	tr := &j.drainXfer
+	if tr.InFlight() {
+		panic("engine: recycling a drain transfer still in flight (missing Abort)")
+	}
+	*tr = iomodel.Transfer{
 		Kind:            iomodel.Drain,
 		Volume:          j.spec.class.CkptBytes,
 		Nodes:           j.q(),
 		LastCkptEnd:     j.lastDurable,
 		RecoverySeconds: j.spec.class.RecoverySeconds(s.bw),
-		OnComplete:      func(float64) { s.onDrainDone(j, snap) },
+		Sink:            j,
 	}
 	j.drain = tr
-	j.drainSnapshot = snap
+	j.drainSnapshot = j.snapshot
 	s.trace("drain-submit", j.id, "")
 	s.device.Submit(tr)
 }
 
-// onDrainDone makes the drained image the job's durable restart point.
-func (s *simulation) onDrainDone(j *jobRun, snapshot float64) {
+// onDrainDone makes the drained image (the progress snapshotted at
+// submission, j.drainSnapshot) the job's durable restart point.
+func (s *simulation) onDrainDone(j *jobRun) {
 	now := s.eng.Now()
+	snapshot := j.drainSnapshot
 	j.drain = nil
 	s.res.Drains++
 	s.trace("drain-done", j.id, "")
@@ -150,12 +152,8 @@ func (s *simulation) bbRecoveryStart(j *jobRun) {
 	j.transfer = nil
 	j.bbStart = now
 	s.trace("job-start", j.id, "bb-recovery")
-	j.bbTimer = s.eng.After(bb.CommitSeconds(j.inputVolume, j.q()), func() {
-		j.bbTimer = nil
-		s.ledger.AddWaste(metrics.CatRecovery, j.q(), j.bbStart, s.eng.Now())
-		s.trace("input-done", j.id, "bb-recovery")
-		s.startComputing(j)
-	})
+	// Completion is handled by fireTimer's timerBBRecovery case.
+	j.bbTimer = s.eng.AfterHandler(bb.CommitSeconds(j.inputVolume, j.q()), &j.bbRecoveryArm)
 }
 
 // bbKillCleanup attributes burst-buffer activity of a job being killed

@@ -73,10 +73,40 @@ type specState struct {
 	attempts int
 }
 
-// jobRun is one running (or queued) instance of a job spec.
+// timerKind distinguishes the per-job timers multiplexed through the
+// simulation's fireTimer dispatch.
+type timerKind uint8
+
+const (
+	// timerStop: the current computing interval reached its boundary.
+	timerStop timerKind = iota
+	// timerCkpt: the next checkpoint came due.
+	timerCkpt
+	// timerBBCommit: a burst-buffer commit finished.
+	timerBBCommit
+	// timerBBRecovery: a resilient-buffer recovery read finished.
+	timerBBRecovery
+)
+
+// timerArm adapts one of a job's timers to sim.Handler. The arms are
+// embedded in jobRun, so arming a timer boxes a pointer into the existing
+// allocation instead of building a closure per event.
+type timerArm struct {
+	j    *jobRun
+	kind timerKind
+}
+
+// Fire implements sim.Handler.
+func (a *timerArm) Fire() { a.j.owner.fireTimer(a.j, a.kind) }
+
+// jobRun is one running (or queued) instance of a job spec. It implements
+// iomodel.Sink (transfer lifecycle) and, through its embedded timer arms,
+// sim.Handler — so the whole per-job event traffic runs without per-event
+// closures.
 type jobRun struct {
-	id   int32
-	spec *specState
+	id    int32
+	spec  *specState
+	owner *simulation
 
 	phase jobPhase
 
@@ -98,6 +128,9 @@ type jobRun struct {
 	// progress(t) = computeBase + (t - computeStart).
 	computeStart float64
 	computeBase  float64
+	// computeTarget is the absolute progress at which the armed stopEvent
+	// fires (work completion or the next regular-I/O threshold).
+	computeTarget float64
 	// lastCkptEnd is the end of the last commit (or the first compute
 	// start): the failure-exposure origin d_j of Equation (2) and the
 	// arming origin of the next checkpoint.
@@ -120,12 +153,18 @@ type jobRun struct {
 	thresholds []float64
 	regularVol float64
 
+	// transfer points at the in-flight foreground operation (input,
+	// regular, checkpoint, output) — always &xfer, which is recycled
+	// across the job's successive operations.
 	transfer *iomodel.Transfer
+	xfer     iomodel.Transfer
 	// stopEvent fires when the current computing interval reaches its
 	// next boundary (work completion or regular-I/O threshold).
 	stopEvent *sim.Event
 	// ckptEvent fires when the next checkpoint is due.
 	ckptEvent *sim.Event
+	// Timer arms: per-kind sim.Handler adapters (see timerArm).
+	stopArm, ckptArm, bbCommitArm, bbRecoveryArm timerArm
 	// ckptDuePending records a checkpoint that came due while the job
 	// could not act on it (blocked in another I/O); it is honoured at
 	// the next compute resume.
@@ -139,9 +178,11 @@ type jobRun struct {
 	// pendingFlush holds window-clipped useful node-seconds committed to
 	// the buffer but not yet durable on the PFS (non-resilient buffers).
 	pendingFlush float64
-	// drain is the in-flight or queued buffer-to-PFS drain;
-	// drainSnapshot is the absolute progress it secures on completion.
+	// drain is the in-flight or queued buffer-to-PFS drain — always
+	// &drainXfer, recycled across successive drains; drainSnapshot is the
+	// absolute progress it secures on completion.
 	drain         *iomodel.Transfer
+	drainXfer     iomodel.Transfer
 	drainSnapshot float64
 	// lastDurable is the time of the last durable commit (PFS drain or
 	// resilient buffer commit): the failure-exposure origin advertised
@@ -157,6 +198,49 @@ func (j *jobRun) totalWork() float64 { return j.spec.spec.WorkSeconds }
 
 // remaining returns the work still to do.
 func (j *jobRun) remaining() float64 { return j.totalWork() - j.progress }
+
+// newTransfer recycles the job's foreground transfer struct for the next
+// operation and registers it as in flight. The check must precede the
+// wipe: it is the only point where a missed Abort of the previous
+// operation is still observable.
+func (j *jobRun) newTransfer(kind iomodel.Kind, volume float64) *iomodel.Transfer {
+	t := &j.xfer
+	if t.InFlight() {
+		panic("engine: recycling a transfer still in flight (missing Abort)")
+	}
+	*t = iomodel.Transfer{Kind: kind, Volume: volume, Nodes: j.q(), Sink: j}
+	j.transfer = t
+	return t
+}
+
+// TransferStarted implements iomodel.Sink: the transfer first moves data.
+func (j *jobRun) TransferStarted(t *iomodel.Transfer, now float64) {
+	switch t.Kind {
+	case iomodel.Checkpoint:
+		j.owner.onCkptGrant(j)
+	case iomodel.Drain:
+		// Asynchronous: the owner keeps computing, nothing to account.
+	default:
+		j.owner.chargeWait(j)
+	}
+}
+
+// TransferCompleted implements iomodel.Sink: the last byte landed.
+func (j *jobRun) TransferCompleted(t *iomodel.Transfer, now float64) {
+	s := j.owner
+	switch t.Kind {
+	case iomodel.Input, iomodel.Recovery:
+		s.onInputDone(j)
+	case iomodel.Regular:
+		s.onRegularDone(j)
+	case iomodel.Checkpoint:
+		s.onCkptDone(j)
+	case iomodel.Output:
+		s.onOutputDone(j)
+	case iomodel.Drain:
+		s.onDrainDone(j)
+	}
+}
 
 // cancelTimers cancels any armed compute-boundary, checkpoint and
 // burst-buffer timers.
@@ -174,3 +258,6 @@ func (j *jobRun) cancelTimers() {
 		j.bbTimer = nil
 	}
 }
+
+// Compile-time check: jobRun receives its transfers' notifications.
+var _ iomodel.Sink = (*jobRun)(nil)

@@ -15,16 +15,38 @@ import (
 // system over each element of this set for each strategy").
 type MCResult struct {
 	Strategy string
-	// WasteRatios holds each run's waste ratio, in run order.
+	// WasteRatios holds each run's waste ratio, in run order (nil unless
+	// MCOptions.KeepWasteRatios).
 	WasteRatios []float64
-	// Summary is the candlestick statistic of WasteRatios (mean,
-	// deciles, quartiles).
+	// Summary is the candlestick statistic of the waste ratios (mean,
+	// deciles, quartiles). With KeepWasteRatios it is the exact sorted
+	// statistic; on the fully streaming path the quantiles are online P²
+	// estimates while N, mean, min and max stay exact.
 	Summary stats.Summary
 	// MeanUtilization and MeanFailures summarise secondary outputs.
 	MeanUtilization float64
 	MeanFailures    float64
-	// Results keeps the per-run details, in run order.
+	// Results keeps the per-run details, in run order (nil unless
+	// MCOptions.KeepResults).
 	Results []Result
+}
+
+// MCOptions selects what a Monte-Carlo experiment materialises. The zero
+// value is the fully streaming path: O(1) result memory regardless of the
+// replication count.
+type MCOptions struct {
+	// KeepResults retains every per-run Result in MCResult.Results —
+	// convenient for small experiments, O(runs) memory.
+	KeepResults bool
+	// KeepWasteRatios retains the per-run waste ratios and computes
+	// Summary by the exact sorted path (bit-identical to the classic
+	// batch API) at 8 bytes per run. When false the Summary comes from
+	// the online stats.Accumulator in O(1) memory.
+	KeepWasteRatios bool
+	// OnResult, when non-nil, receives every run's Result in strict run
+	// order (i ascending, 0-based). The Result is passed by value; the
+	// callback runs on the caller's goroutine.
+	OnResult func(i int, r Result)
 }
 
 // MonteCarlo runs the configuration `runs` times with independent seeds
@@ -33,6 +55,22 @@ type MCResult struct {
 // independent of the total number of runs, so extending an experiment
 // reuses earlier runs' results exactly.
 func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
+	return MonteCarloOpts(cfg, runs, workers, MCOptions{KeepResults: true, KeepWasteRatios: true})
+}
+
+// MonteCarloStream is the O(1)-memory Monte-Carlo experiment: every run's
+// Result is streamed to fn (which may be nil) in run order and then
+// dropped; the returned MCResult carries only the online aggregates.
+// Replication counts are limited by patience, not memory.
+func MonteCarloStream(cfg Config, runs, workers int, fn func(i int, r Result)) (MCResult, error) {
+	return MonteCarloOpts(cfg, runs, workers, MCOptions{OnResult: fn})
+}
+
+// MonteCarloOpts is the general Monte-Carlo driver: runs replications in
+// parallel, delivers results in deterministic run order, and aggregates
+// according to opts. All other Monte-Carlo entry points are thin wrappers
+// over it.
+func MonteCarloOpts(cfg Config, runs, workers int, opts MCOptions) (MCResult, error) {
 	if runs <= 0 {
 		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
 	}
@@ -43,10 +81,25 @@ func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
 		workers = runs
 	}
 
-	results := make([]Result, runs)
-	errs := make([]error, runs)
-	var wg sync.WaitGroup
+	// Bounded reorder window: run i may only be dispatched once run
+	// i-window has been delivered, so out-of-order completions buffer at
+	// most `window` Results — O(workers), not O(runs).
+	window := 4 * workers
+	type item struct {
+		i   int
+		r   Result
+		err error
+	}
 	next := make(chan int)
+	resCh := make(chan item, window)
+	gate := make(chan struct{}, window)
+	// stop aborts dispatch after the first delivered error, so a failing
+	// million-run experiment surfaces the error after ~window runs
+	// instead of simulating the full replication to completion.
+	stop := make(chan struct{})
+	dispatchedCh := make(chan int, 1)
+
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -56,34 +109,102 @@ func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
 				// Stream 100+i avoids colliding with the internal
 				// generation/failure streams (1 and 2) of any seed.
 				runCfg.Seed = rng.NewStream(cfg.Seed, uint64(100+i)).Uint64()
-				results[i], errs[i] = Run(runCfg)
+				r, err := Run(runCfg)
+				resCh <- item{i: i, r: r, err: err}
 			}
 		}()
 	}
-	for i := 0; i < runs; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	go func() {
+		dispatched := 0
+		defer func() {
+			close(next)
+			dispatchedCh <- dispatched
+		}()
+		for i := 0; i < runs; i++ {
+			select {
+			case gate <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case next <- i:
+			case <-stop:
+				return
+			}
+			dispatched++
+		}
+	}()
 
-	for i, err := range errs {
-		if err != nil {
-			return MCResult{}, fmt.Errorf("engine: run %d: %w", i, err)
+	mc := MCResult{Strategy: cfg.Strategy.Name()}
+	if opts.KeepResults {
+		mc.Results = make([]Result, runs)
+	}
+	if opts.KeepWasteRatios {
+		mc.WasteRatios = make([]float64, runs)
+	}
+	var acc stats.Accumulator
+	var util, fails float64
+	var firstErr error
+
+	deliver := func(it item) {
+		<-gate
+		if it.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("engine: run %d: %w", it.i, it.err)
+				close(stop)
+			}
+			return
+		}
+		if firstErr != nil {
+			return
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(it.i, it.r)
+		}
+		if mc.Results != nil {
+			mc.Results[it.i] = it.r
+		}
+		if mc.WasteRatios != nil {
+			mc.WasteRatios[it.i] = it.r.WasteRatio
+		} else {
+			acc.Add(it.r.WasteRatio)
+		}
+		util += it.r.Utilization
+		fails += float64(it.r.Failures)
+	}
+
+	// Consume exactly the dispatched results, delivering in run order;
+	// the dispatched count is only known early when stop fires.
+	pending := make(map[int]item, window)
+	nextIdx, received, dispatched := 0, 0, -1
+	for dispatched < 0 || received < dispatched {
+		select {
+		case it := <-resCh:
+			received++
+			pending[it.i] = it
+			for {
+				queued, ok := pending[nextIdx]
+				if !ok {
+					break
+				}
+				delete(pending, nextIdx)
+				deliver(queued)
+				nextIdx++
+			}
+		case d := <-dispatchedCh:
+			dispatched = d
 		}
 	}
+	wg.Wait()
 
-	mc := MCResult{
-		Strategy:    cfg.Strategy.Name(),
-		WasteRatios: make([]float64, runs),
-		Results:     results,
+	if firstErr != nil {
+		return MCResult{}, firstErr
 	}
-	var util, fails float64
-	for i, r := range results {
-		mc.WasteRatios[i] = r.WasteRatio
-		util += r.Utilization
-		fails += float64(r.Failures)
+	if mc.WasteRatios != nil {
+		mc.Summary = stats.Summarize(mc.WasteRatios)
+	} else {
+		mc.Summary = acc.Summary()
 	}
-	mc.Summary = stats.Summarize(mc.WasteRatios)
 	mc.MeanUtilization = util / float64(runs)
 	mc.MeanFailures = fails / float64(runs)
 	return mc, nil
@@ -93,11 +214,20 @@ func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
 // strategy (each strategy sees identical per-run seeds, hence identical
 // job mixes and failure traces — the paired design of §5's comparisons).
 func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([]MCResult, error) {
+	return CompareStrategiesOpts(base, strategies, runs, workers,
+		MCOptions{KeepResults: true, KeepWasteRatios: true})
+}
+
+// CompareStrategiesOpts is CompareStrategies with explicit materialisation
+// options — pass the zero MCOptions (or KeepWasteRatios alone for exact
+// candlesticks) to run paper-scale paired sweeps without holding per-run
+// results in memory.
+func CompareStrategiesOpts(base Config, strategies []Strategy, runs, workers int, opts MCOptions) ([]MCResult, error) {
 	out := make([]MCResult, 0, len(strategies))
 	for _, strat := range strategies {
 		cfg := base
 		cfg.Strategy = strat
-		mc, err := MonteCarlo(cfg, runs, workers)
+		mc, err := MonteCarloOpts(cfg, runs, workers, opts)
 		if err != nil {
 			return nil, fmt.Errorf("engine: strategy %s: %w", strat.Name(), err)
 		}
@@ -112,7 +242,9 @@ func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([
 // required aggregated practical bandwidth necessary to provide a sustained
 // 80% efficiency"). The mean waste is monotone in bandwidth up to
 // Monte-Carlo noise; `runs` controls that noise, `steps` the bisection
-// depth.
+// depth. Each probe streams its replications (the accumulator's mean is
+// the same ordered sum as the batch path, so the bisection decisions are
+// bit-identical), keeping the whole search O(1) in memory.
 func MinBandwidthForEfficiency(cfg Config, targetEfficiency float64, loBps, hiBps float64, runs, workers, steps int) (float64, error) {
 	if targetEfficiency <= 0 || targetEfficiency >= 1 {
 		return 0, fmt.Errorf("engine: target efficiency %v outside (0,1)", targetEfficiency)
@@ -127,7 +259,7 @@ func MinBandwidthForEfficiency(cfg Config, targetEfficiency float64, loBps, hiBp
 	meanWaste := func(bps float64) (float64, error) {
 		c := cfg
 		c.Platform.BandwidthBps = bps
-		mc, err := MonteCarlo(c, runs, workers)
+		mc, err := MonteCarloStream(c, runs, workers, nil)
 		if err != nil {
 			return 0, err
 		}

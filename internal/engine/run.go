@@ -35,6 +35,38 @@ type simulation struct {
 	// classPeriods overrides the per-class checkpoint period when the
 	// burst buffer's cooperative period model is active (nil otherwise).
 	classPeriods []float64
+	// failNode is the node struck by the armed failure event; failArm is
+	// its closure-free sim.Handler adapter (one failure in flight at a
+	// time, chained by onFailure).
+	failNode int32
+	failArm  failureArm
+}
+
+// failureArm adapts the simulation's failure chain to sim.Handler.
+type failureArm struct{ s *simulation }
+
+// Fire implements sim.Handler.
+func (a *failureArm) Fire() { a.s.onFailure() }
+
+// fireTimer dispatches a job's timer arms (see timerArm): one switch
+// replaces the per-arm closures of the event-scheduling call sites.
+func (s *simulation) fireTimer(j *jobRun, kind timerKind) {
+	switch kind {
+	case timerStop:
+		j.stopEvent = nil
+		s.computeBoundary(j, j.computeTarget)
+	case timerCkpt:
+		j.ckptEvent = nil
+		s.ckptDue(j)
+	case timerBBCommit:
+		j.bbTimer = nil
+		s.bbCkptCommitted(j)
+	case timerBBRecovery:
+		j.bbTimer = nil
+		s.ledger.AddWaste(metrics.CatRecovery, j.q(), j.bbStart, s.eng.Now())
+		s.trace("input-done", j.id, "bb-recovery")
+		s.startComputing(j)
+	}
 }
 
 // Run executes one simulation and returns its measurements.
@@ -89,6 +121,7 @@ func build(cfg Config) (*simulation, error) {
 		bw:      cfg.Platform.BandwidthBps,
 		muInd:   cfg.Platform.NodeMTBFSeconds,
 	}
+	s.failArm.s = s
 	s.res.Strategy = cfg.Strategy.Name()
 	s.res.JobsGenerated = len(jobs)
 
@@ -143,11 +176,16 @@ func (s *simulation) newInstance(spec *specState) *jobRun {
 	j := &jobRun{
 		id:       int32(len(s.runs)),
 		spec:     spec,
+		owner:    s,
 		phase:    phaseQueued,
 		progress: spec.committed,
 		ckptC:    cp.CkptSeconds(s.bw),
 		ckptR:    cp.RecoverySeconds(s.bw),
 	}
+	j.stopArm = timerArm{j: j, kind: timerStop}
+	j.ckptArm = timerArm{j: j, kind: timerCkpt}
+	j.bbCommitArm = timerArm{j: j, kind: timerBBCommit}
+	j.bbRecoveryArm = timerArm{j: j, kind: timerBBRecovery}
 	if bb := s.cfg.BurstBuffer; bb != nil {
 		// The commit time the job experiences is the buffer write; the
 		// Young/Daly period shortens accordingly (§8: higher optimal
@@ -203,16 +241,20 @@ func (s *simulation) armNextFailure() {
 	if math.IsInf(ev.Time, 1) || ev.Time > s.horizon {
 		return
 	}
-	s.eng.Schedule(ev.Time, func() {
-		s.res.FailureEvents++
-		owner := s.nodes.Owner(ev.Node)
-		s.trace("failure", -1, fmt.Sprintf("node %d owner %d", ev.Node, owner))
-		if owner != platform.NoOwner {
-			s.res.Failures++
-			s.killJob(s.runs[owner])
-		}
-		s.armNextFailure()
-	})
+	s.failNode = ev.Node
+	s.eng.ScheduleHandler(ev.Time, &s.failArm)
+}
+
+// onFailure strikes the armed failure's node and chains the next one.
+func (s *simulation) onFailure() {
+	s.res.FailureEvents++
+	owner := s.nodes.Owner(s.failNode)
+	s.trace("failure", -1, fmt.Sprintf("node %d owner %d", s.failNode, owner))
+	if owner != platform.NoOwner {
+		s.res.Failures++
+		s.killJob(s.runs[owner])
+	}
+	s.armNextFailure()
 }
 
 // trySchedule fills free nodes with queued jobs (greedy first-fit).
@@ -240,14 +282,7 @@ func (s *simulation) startJob(j *jobRun) {
 		kind = iomodel.Recovery
 	}
 	s.trace("job-start", j.id, fmt.Sprintf("%s attempt %d", j.spec.class.Name, j.spec.attempts))
-	j.transfer = &iomodel.Transfer{
-		Kind:       kind,
-		Volume:     j.inputVolume,
-		Nodes:      j.q(),
-		OnStart:    func(float64) { s.chargeWait(j) },
-		OnComplete: func(float64) { s.onInputDone(j) },
-	}
-	s.device.Submit(j.transfer)
+	s.device.Submit(j.newTransfer(kind, j.inputVolume))
 }
 
 // chargeWait charges the blocked interval [waitStart, now] to CatWait
@@ -308,10 +343,7 @@ func (s *simulation) armCheckpoint(j *jobRun, delay float64) {
 	if j.ckptEvent != nil {
 		j.ckptEvent.Cancel()
 	}
-	j.ckptEvent = s.eng.After(delay, func() {
-		j.ckptEvent = nil
-		s.ckptDue(j)
-	})
+	j.ckptEvent = s.eng.AfterHandler(delay, &j.ckptArm)
 }
 
 // beginCompute (re)starts the computing interval and arms the next
@@ -327,10 +359,8 @@ func (s *simulation) beginCompute(j *jobRun) {
 	if len(j.thresholds) > 0 && j.thresholds[0] < target {
 		target = j.thresholds[0]
 	}
-	j.stopEvent = s.eng.After(target-j.progress, func() {
-		j.stopEvent = nil
-		s.computeBoundary(j, target)
-	})
+	j.computeTarget = target
+	j.stopEvent = s.eng.AfterHandler(target-j.progress, &j.stopArm)
 	if j.ckptDuePending {
 		j.ckptDuePending = false
 		s.ckptDue(j)
@@ -372,15 +402,9 @@ func (s *simulation) computeBoundary(j *jobRun, target float64) {
 	}
 	j.phase = phaseRegular
 	j.waitStart = s.eng.Now()
-	j.transfer = &iomodel.Transfer{
-		Kind:       iomodel.Regular,
-		Volume:     j.regularVol,
-		Nodes:      j.q(),
-		OnStart:    func(float64) { s.chargeWait(j) },
-		OnComplete: func(float64) { s.onRegularDone(j) },
-	}
+	tr := j.newTransfer(iomodel.Regular, j.regularVol)
 	s.trace("regular-io", j.id, "")
-	s.device.Submit(j.transfer)
+	s.device.Submit(tr)
 }
 
 // onRegularDone resumes computing after a regular I/O.
@@ -416,20 +440,13 @@ func (s *simulation) ckptDue(j *jobRun) {
 		return
 	}
 	now := s.eng.Now()
-	tr := &iomodel.Transfer{
-		Kind:            iomodel.Checkpoint,
-		Volume:          j.spec.class.CkptBytes,
-		Nodes:           j.q(),
-		LastCkptEnd:     j.lastCkptEnd,
-		RecoverySeconds: j.ckptR,
-		OnStart:         func(float64) { s.onCkptGrant(j) },
-		OnComplete:      func(float64) { s.onCkptDone(j) },
-	}
+	tr := j.newTransfer(iomodel.Checkpoint, j.spec.class.CkptBytes)
+	tr.LastCkptEnd = j.lastCkptEnd
+	tr.RecoverySeconds = j.ckptR
 	s.trace("ckpt-request", j.id, "")
 	if s.cfg.Strategy.Discipline.NonBlockingCheckpoints() {
 		// §3.3: keep computing until the token arrives.
 		j.phase = phaseCkptWait
-		j.transfer = tr
 		s.device.Submit(tr)
 		return
 	}
@@ -437,7 +454,6 @@ func (s *simulation) ckptDue(j *jobRun) {
 	s.pauseCompute(j)
 	j.phase = phaseCkptBlocked
 	j.waitStart = now
-	j.transfer = tr
 	s.device.Submit(tr)
 }
 
@@ -488,15 +504,9 @@ func (s *simulation) workComplete(j *jobRun) {
 	j.ckptDuePending = false
 	j.phase = phaseOutput
 	j.waitStart = now
-	j.transfer = &iomodel.Transfer{
-		Kind:       iomodel.Output,
-		Volume:     j.spec.class.OutputBytes,
-		Nodes:      j.q(),
-		OnStart:    func(float64) { s.chargeWait(j) },
-		OnComplete: func(float64) { s.onOutputDone(j) },
-	}
+	tr := j.newTransfer(iomodel.Output, j.spec.class.OutputBytes)
 	s.trace("work-complete", j.id, "")
-	s.device.Submit(j.transfer)
+	s.device.Submit(tr)
 }
 
 // onOutputDone completes the job: all provisional work becomes useful,

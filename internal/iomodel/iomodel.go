@@ -62,6 +62,19 @@ func (k Kind) String() string {
 	}
 }
 
+// Sink receives a transfer's lifecycle notifications. A long-lived owner
+// (the engine's job instance) implements it once, so submitting a transfer
+// allocates no callback closures; the transfer itself can also be embedded
+// in the owner and recycled across operations.
+type Sink interface {
+	// TransferStarted fires when the transfer first moves data
+	// (immediately on submission for shared devices; at token grant for
+	// token devices).
+	TransferStarted(t *Transfer, now float64)
+	// TransferCompleted fires when the last byte lands.
+	TransferCompleted(t *Transfer, now float64)
+}
+
 // Transfer is one I/O operation moving Volume bytes for a job of Nodes
 // nodes. The same structure serves both device disciplines; Least-Waste
 // candidate metadata (LastCkptEnd, RecoverySeconds) is filled by the engine
@@ -78,11 +91,16 @@ type Transfer struct {
 	// RecoverySeconds is the job's interference-free recovery time R_j.
 	RecoverySeconds float64
 
+	// Sink receives start/completion notifications. Either Sink or
+	// OnComplete must be set; when Sink is non-nil the closure fields are
+	// ignored.
+	Sink Sink
 	// OnStart fires when the transfer first moves data (immediately on
 	// submission for shared devices; at token grant for token devices).
-	// May be nil.
+	// May be nil. Closure adapter for Sink-less call sites.
 	OnStart func(now float64)
-	// OnComplete fires when the last byte lands. Required.
+	// OnComplete fires when the last byte lands. Required unless Sink is
+	// set.
 	OnComplete func(now float64)
 
 	// Bookkeeping (read-only outside this package).
@@ -91,6 +109,35 @@ type Transfer struct {
 	remaining float64
 	seq       uint64
 	state     transferState
+}
+
+// valid reports whether the transfer can be submitted. Re-submitting an
+// in-flight transfer corrupts device state; owners that recycle structs
+// additionally check InFlight before resetting the fields, where the
+// stale state is still observable.
+func (t *Transfer) valid() bool {
+	if t.Volume < 0 || (t.Sink == nil && t.OnComplete == nil) {
+		return false
+	}
+	return !t.InFlight()
+}
+
+// notifyStart dispatches the start notification.
+func (t *Transfer) notifyStart(now float64) {
+	if t.Sink != nil {
+		t.Sink.TransferStarted(t, now)
+	} else if t.OnStart != nil {
+		t.OnStart(now)
+	}
+}
+
+// notifyComplete dispatches the completion notification.
+func (t *Transfer) notifyComplete(now float64) {
+	if t.Sink != nil {
+		t.Sink.TransferCompleted(t, now)
+	} else {
+		t.OnComplete(now)
+	}
 }
 
 type transferState int
@@ -118,6 +165,13 @@ func (t *Transfer) Done() bool { return t.state == stateDone }
 
 // Pending reports whether the transfer is waiting for the I/O token.
 func (t *Transfer) Pending() bool { return t.state == statePending }
+
+// InFlight reports whether the transfer is queued or moving data on a
+// device. Owners that recycle transfer structs must not reuse one that is
+// still in flight (Abort it first).
+func (t *Transfer) InFlight() bool {
+	return t.state == statePending || t.state == stateActive
+}
 
 // Remaining returns the bytes still to move.
 func (t *Transfer) Remaining() float64 { return t.remaining }
@@ -256,7 +310,7 @@ func (d *SharedDevice) Waiting() int { return 0 }
 
 // Submit implements Device: the transfer starts moving immediately.
 func (d *SharedDevice) Submit(t *Transfer) {
-	if t.Volume < 0 || t.OnComplete == nil {
+	if !t.valid() {
 		panic("iomodel: invalid transfer")
 	}
 	now := d.eng.Now()
@@ -268,9 +322,7 @@ func (d *SharedDevice) Submit(t *Transfer) {
 	t.remaining = t.Volume
 	t.state = stateActive
 	d.active = append(d.active, t)
-	if t.OnStart != nil {
-		t.OnStart(now)
-	}
+	t.notifyStart(now)
 	d.reschedule(now)
 }
 
@@ -342,7 +394,7 @@ func (d *SharedDevice) reschedule(now float64) {
 			d.active = append(d.active[:i], d.active[i+1:]...)
 			t.state = stateDone
 			t.remaining = 0
-			t.OnComplete(now)
+			t.notifyComplete(now)
 			d.reschedule(d.eng.Now())
 			return
 		}
@@ -359,12 +411,17 @@ func (d *SharedDevice) reschedule(now float64) {
 	if math.IsInf(next, 1) {
 		panic("iomodel: active transfers with zero aggregate rate")
 	}
-	d.wake = d.eng.After(next, func() {
-		now := d.eng.Now()
-		d.wake = nil
-		d.advance(now)
-		d.reschedule(now)
-	})
+	d.wake = d.eng.AfterHandler(next, d)
+}
+
+// Fire implements sim.Handler: the device wakes at the next projected
+// completion, applies accrued progress, and reschedules. Implementing the
+// handler on the device itself keeps the periodic wake-up allocation-free.
+func (d *SharedDevice) Fire() {
+	now := d.eng.Now()
+	d.wake = nil
+	d.advance(now)
+	d.reschedule(now)
 }
 
 // Selector orders token grants among waiting transfers.
@@ -450,7 +507,7 @@ func (d *TokenDevice) Pending() []*Transfer { return d.pending }
 // Submit implements Device: the transfer queues for the token and is
 // granted immediately if the device is idle.
 func (d *TokenDevice) Submit(t *Transfer) {
-	if t.Volume < 0 || t.OnComplete == nil {
+	if !t.valid() {
 		panic("iomodel: invalid transfer")
 	}
 	t.arrival = d.eng.Now()
@@ -498,22 +555,26 @@ func (d *TokenDevice) grant() {
 	d.current = t
 	t.state = stateActive
 	t.start = now
-	if t.OnStart != nil {
-		t.OnStart(now)
-	}
-	duration := t.Volume / d.bw
-	d.wake = d.eng.After(duration, func() {
-		d.wake = nil
-		d.current = nil
-		t.state = stateDone
-		t.remaining = 0
-		t.OnComplete(d.eng.Now())
-		d.grant()
-	})
+	t.notifyStart(now)
+	d.wake = d.eng.AfterHandler(t.Volume/d.bw, d)
+}
+
+// Fire implements sim.Handler: the current token holder's transfer
+// completes and the token is re-granted.
+func (d *TokenDevice) Fire() {
+	t := d.current
+	d.wake = nil
+	d.current = nil
+	t.state = stateDone
+	t.remaining = 0
+	t.notifyComplete(d.eng.Now())
+	d.grant()
 }
 
 // Compile-time interface checks.
 var (
-	_ Device = (*SharedDevice)(nil)
-	_ Device = (*TokenDevice)(nil)
+	_ Device      = (*SharedDevice)(nil)
+	_ Device      = (*TokenDevice)(nil)
+	_ sim.Handler = (*SharedDevice)(nil)
+	_ sim.Handler = (*TokenDevice)(nil)
 )

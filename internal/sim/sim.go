@@ -4,55 +4,101 @@
 // Events scheduled for the same instant execute in scheduling order (FIFO),
 // which makes every simulation a deterministic function of its inputs and
 // random seed — a requirement for the reproducible Monte-Carlo experiments
-// of the paper. Cancellation is O(1) (lazy): cancelled events stay in the
-// heap and are skipped when popped, which is cheaper and simpler than heap
-// removal and performs well at this simulator's event densities.
+// of the paper.
+//
+// The queue is an intrusive 4-ary indexed heap over pooled Event structs:
+// scheduling recycles events through a free list (amortised zero
+// allocations on the hot path), and cancellation removes the event from
+// the heap in O(log n) instead of leaving a tombstone. Work is dispatched
+// through the small Handler interface; long-lived simulation objects
+// implement it once and are scheduled allocation-free, while the Action
+// closure adapter keeps the convenient func-based API.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Action is the work an event performs when it fires.
+// Handler is the work an event performs when it fires. Objects that
+// schedule themselves repeatedly should implement Handler directly: the
+// interface conversion of a pointer receiver does not allocate, unlike a
+// fresh closure per event.
+type Handler interface {
+	Fire()
+}
+
+// Action adapts a closure to Handler for call sites where an ad-hoc
+// function is clearer than a named handler type.
 type Action func()
 
-// Event is a handle to a scheduled action. It can be cancelled until it has
-// fired.
+// Fire implements Handler.
+func (a Action) Fire() { a() }
+
+// Event states. A pooled event cycles free → scheduled → (firing →
+// fired | cancelled) → free.
+const (
+	stateFree uint8 = iota
+	stateScheduled
+	stateFiring
+	stateFired
+	stateCancelled
+)
+
+// Event is a handle to a scheduled action. It can be cancelled until it
+// has fired.
+//
+// Handles are single-use: once the event has fired or been cancelled, the
+// struct returns to the engine's free list and may be recycled by a later
+// Schedule. Holders must therefore drop (nil out) their reference when the
+// event fires or is cancelled and never call Cancel through a stale handle
+// — the discipline the engine package follows by clearing its event fields
+// at the top of every handler.
 type Event struct {
-	at        float64
-	seq       uint64
-	act       Action
-	cancelled bool
-	fired     bool
-	eng       *Engine
+	at  float64
+	seq uint64
+	h   Handler
+	eng *Engine
+	// pos is the index in the engine's heap array, -1 when not queued.
+	pos   int32
+	state uint8
+	// next links the engine's free list.
+	next *Event
 }
 
 // Time returns the instant the event is scheduled for.
 func (e *Event) Time() float64 { return e.at }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel prevents the event from firing, removing it from the queue in
+// O(log n). Cancelling an already-fired, already-cancelled, or
+// currently-firing event is a no-op.
 func (e *Event) Cancel() {
-	if e.cancelled || e.fired {
+	if e.state != stateScheduled {
 		return
 	}
-	e.cancelled = true
-	e.eng.live--
+	e.state = stateCancelled
+	e.eng.heap.remove(int(e.pos))
+	e.eng.put(e)
 }
 
 // Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e.cancelled }
+func (e *Event) Cancelled() bool { return e.state == stateCancelled }
+
+// eventBlockSize is how many Events one pool refill allocates at once.
+const eventBlockSize = 64
 
 // Engine is a discrete-event executor. The zero value is ready to use and
 // starts at time 0.
 type Engine struct {
 	now      float64
 	seq      uint64
-	events   eventHeap
+	heap     heap4
 	executed uint64
-	live     int // scheduled, not-yet-cancelled, not-yet-fired events
+	// free is the head of the recycled-event list; freeN its length.
+	free  *Event
+	freeN int
+	// allocated counts Events ever handed to the pool (diagnostics).
+	allocated int
 }
 
 // New returns an engine with its clock at 0.
@@ -66,14 +112,45 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of scheduled events that have neither fired
 // nor been cancelled.
-func (e *Engine) Pending() int { return e.live }
+func (e *Engine) Pending() int { return e.heap.len() }
 
-// Schedule registers act to run at absolute time at and returns a handle
-// that can cancel it. Scheduling in the past is a programming error and
-// panics; a tiny negative slack (one part in 2^40 of the current time) is
-// tolerated and clamped to now to absorb floating-point round-off from
+// PoolStats returns the number of Event structs ever allocated and the
+// number currently idle on the free list.
+func (e *Engine) PoolStats() (allocated, free int) { return e.allocated, e.freeN }
+
+// get pops a recycled event or refills the pool with a fresh block.
+func (e *Engine) get() *Event {
+	if e.free == nil {
+		block := make([]Event, eventBlockSize)
+		for i := range block {
+			block[i].next = e.free
+			e.free = &block[i]
+		}
+		e.freeN += eventBlockSize
+		e.allocated += eventBlockSize
+	}
+	ev := e.free
+	e.free = ev.next
+	e.freeN--
+	ev.next = nil
+	return ev
+}
+
+// put returns a fired or cancelled event to the free list.
+func (e *Engine) put(ev *Event) {
+	ev.h = nil
+	ev.pos = -1
+	ev.next = e.free
+	e.free = ev
+	e.freeN++
+}
+
+// ScheduleHandler registers h to fire at absolute time at and returns a
+// handle that can cancel it. Scheduling in the past is a programming error
+// and panics; a tiny negative slack (one part in 2^40 of the current time)
+// is tolerated and clamped to now to absorb floating-point round-off from
 // interval arithmetic.
-func (e *Engine) Schedule(at float64, act Action) *Event {
+func (e *Engine) ScheduleHandler(at float64, h Handler) *Event {
 	if at < e.now {
 		slack := math.Max(1e-9, e.now*0x1p-40)
 		if e.now-at > slack {
@@ -84,60 +161,55 @@ func (e *Engine) Schedule(at float64, act Action) *Event {
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %g", at))
 	}
-	ev := &Event{at: at, seq: e.seq, act: act, eng: e}
+	ev := e.get()
+	ev.at = at
+	ev.seq = e.seq
+	ev.h = h
+	ev.eng = e
+	ev.state = stateScheduled
 	e.seq++
-	heap.Push(&e.events, ev)
-	e.live++
+	e.heap.push(ev)
 	return ev
+}
+
+// Schedule registers act to run at absolute time at. It is ScheduleHandler
+// with the closure adapter; hot paths should prefer a pointer Handler.
+func (e *Engine) Schedule(at float64, act Action) *Event {
+	return e.ScheduleHandler(at, act)
 }
 
 // After registers act to run d seconds from now.
 func (e *Engine) After(d float64, act Action) *Event {
-	return e.Schedule(e.now+d, act)
+	return e.ScheduleHandler(e.now+d, act)
+}
+
+// AfterHandler registers h to fire d seconds from now.
+func (e *Engine) AfterHandler(d float64, h Handler) *Event {
+	return e.ScheduleHandler(e.now+d, h)
 }
 
 // Step fires the next pending event, if any, advancing the clock to its
 // time. It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.live--
-		ev.fired = true
-		e.now = ev.at
-		e.executed++
-		ev.act()
-		return true
+	if e.heap.len() == 0 {
+		return false
 	}
-	return false
-}
-
-// peek returns the next non-cancelled event without removing it, discarding
-// cancelled events encountered on the way.
-func (e *Engine) peek() *Event {
-	for e.events.Len() > 0 {
-		ev := e.events[0]
-		if !ev.cancelled {
-			return ev
-		}
-		heap.Pop(&e.events)
-	}
-	return nil
+	ev := e.heap.popMin()
+	ev.state = stateFiring
+	e.now = ev.at
+	e.executed++
+	ev.h.Fire()
+	ev.state = stateFired
+	e.put(ev)
+	return true
 }
 
 // Run fires events in order until the queue is exhausted or the next event
-// lies strictly beyond until; the clock then rests at until (or at the last
-// event time if that is later, which cannot happen by construction). It
-// returns the number of events fired.
+// lies strictly beyond until; the clock then rests at until. It returns
+// the number of events fired.
 func (e *Engine) Run(until float64) uint64 {
 	fired := uint64(0)
-	for {
-		ev := e.peek()
-		if ev == nil || ev.at > until {
-			break
-		}
+	for e.heap.len() > 0 && e.heap.min().at <= until {
 		e.Step()
 		fired++
 	}
@@ -162,26 +234,114 @@ func (e *Engine) RunAll() uint64 {
 	return fired
 }
 
-// eventHeap orders events by (time, sequence): earliest first, FIFO within
-// an instant.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// heap4 is an intrusive 4-ary min-heap ordered by (time, sequence):
+// earliest first, FIFO within an instant. Each queued Event carries its
+// own array index, so removal from the middle (cancellation) is O(log n).
+// The wider fan-out halves the tree depth of the binary heap and keeps
+// sift-down comparisons within one cache line of children.
+type heap4 struct {
+	ev []*Event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+func (h *heap4) len() int    { return len(h.ev) }
+func (h *heap4) min() *Event { return h.ev[0] }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// less orders by (time, sequence).
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *heap4) push(ev *Event) {
+	h.ev = append(h.ev, ev)
+	h.up(len(h.ev) - 1)
+}
+
+// up sifts the event at index i toward the root.
+func (h *heap4) up(i int) {
+	ev := h.ev[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, h.ev[p]) {
+			break
+		}
+		h.ev[i] = h.ev[p]
+		h.ev[i].pos = int32(i)
+		i = p
+	}
+	h.ev[i] = ev
+	ev.pos = int32(i)
+}
+
+// down sifts the event at index i toward the leaves. It reports whether
+// the event moved.
+func (h *heap4) down(i int) bool {
+	n := len(h.ev)
+	ev := h.ev[i]
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if less(h.ev[k], h.ev[m]) {
+				m = k
+			}
+		}
+		if !less(h.ev[m], ev) {
+			break
+		}
+		h.ev[i] = h.ev[m]
+		h.ev[i].pos = int32(i)
+		i = m
+	}
+	h.ev[i] = ev
+	ev.pos = int32(i)
+	return i != start
+}
+
+// popMin removes and returns the earliest event.
+func (h *heap4) popMin() *Event {
+	ev := h.ev[0]
+	last := len(h.ev) - 1
+	moved := h.ev[last]
+	h.ev[last] = nil
+	h.ev = h.ev[:last]
+	if last > 0 {
+		h.ev[0] = moved
+		moved.pos = 0
+		h.down(0)
+	}
+	ev.pos = -1
 	return ev
+}
+
+// remove deletes the event at index i, restoring heap order around the
+// element swapped into its place.
+func (h *heap4) remove(i int) {
+	ev := h.ev[i]
+	last := len(h.ev) - 1
+	if i == last {
+		h.ev[last] = nil
+		h.ev = h.ev[:last]
+		ev.pos = -1
+		return
+	}
+	moved := h.ev[last]
+	h.ev[last] = nil
+	h.ev = h.ev[:last]
+	h.ev[i] = moved
+	moved.pos = int32(i)
+	if !h.down(i) {
+		h.up(i)
+	}
+	ev.pos = -1
 }

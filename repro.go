@@ -68,9 +68,15 @@ type (
 	Strategy = engine.Strategy
 	// MCResult aggregates a Monte-Carlo experiment.
 	MCResult = engine.MCResult
+	// MCOptions selects what a Monte-Carlo experiment materialises; the
+	// zero value is the fully streaming O(1)-memory path.
+	MCOptions = engine.MCOptions
 	// Summary is the candlestick statistic set (mean, deciles,
 	// quartiles).
 	Summary = stats.Summary
+	// Accumulator folds samples into candlestick statistics online in
+	// O(1) memory (exact mean/min/max, Welford variance, P² quantiles).
+	Accumulator = stats.Accumulator
 	// TraceEvent is one observable simulation transition.
 	TraceEvent = engine.TraceEvent
 	// LowerBoundInput parameterises the §4 steady-state model.
@@ -177,15 +183,36 @@ func Run(cfg Config) (Result, error) { return engine.Run(cfg) }
 
 // MonteCarlo replicates a configuration over `runs` independent seeds
 // using up to `workers` goroutines (0 = GOMAXPROCS) and summarises the
-// waste ratios.
+// waste ratios. It materialises every per-run Result; use
+// MonteCarloStream or MonteCarloOpts for large replication counts.
 func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
 	return engine.MonteCarlo(cfg, runs, workers)
+}
+
+// MonteCarloStream is the O(1)-memory Monte-Carlo experiment: each run's
+// Result is delivered to fn (which may be nil) in strict run order and
+// then dropped; the returned MCResult carries online aggregates only.
+// Same seeds as MonteCarlo — the streamed results are identical.
+func MonteCarloStream(cfg Config, runs, workers int, fn func(i int, r Result)) (MCResult, error) {
+	return engine.MonteCarloStream(cfg, runs, workers, fn)
+}
+
+// MonteCarloOpts is the general Monte-Carlo driver with explicit
+// materialisation options.
+func MonteCarloOpts(cfg Config, runs, workers int, opts MCOptions) (MCResult, error) {
+	return engine.MonteCarloOpts(cfg, runs, workers, opts)
 }
 
 // CompareStrategies evaluates several strategies on identical per-run
 // seeds (paired comparison).
 func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([]MCResult, error) {
 	return engine.CompareStrategies(base, strategies, runs, workers)
+}
+
+// CompareStrategiesOpts is CompareStrategies with explicit
+// materialisation options (zero MCOptions = fully streaming).
+func CompareStrategiesOpts(base Config, strategies []Strategy, runs, workers int, opts MCOptions) ([]MCResult, error) {
+	return engine.CompareStrategiesOpts(base, strategies, runs, workers, opts)
 }
 
 // MinBandwidthForEfficiency bisects for the smallest PFS bandwidth
