@@ -154,6 +154,43 @@ func BenchmarkEngine(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchmarkMonteCarlo measures Monte-Carlo replicate throughput on the
+// standard scenario — the per-replicate unit of every figure sweep —
+// comparing the reused-arena path (build once, re-seed per replicate; the
+// path the Monte-Carlo drivers use, one arena per worker) against a fresh
+// simulation build per replicate. Both run sequentially so the numbers are
+// per-core replicate rates. Recorded in BENCH_*.json across PRs.
+func BenchmarkMonteCarlo(b *testing.B) {
+	cfg := benchConfig(repro.Cielo(40, 2), repro.OrderedNBDaly())
+	cfg.HorizonDays = 60
+	b.Run("arena", func(b *testing.B) {
+		arena, err := repro.NewArena(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := arena.Run(uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Seed = uint64(i)
+			if _, err := repro.Run(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
+	})
+}
+
 // BenchmarkMonteCarloStream measures the O(1)-memory replication path:
 // the per-run cost of a streamed Monte-Carlo experiment, allocations
 // included (the batch path would grow with b.N; this one must not).

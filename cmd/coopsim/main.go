@@ -91,44 +91,58 @@ func main() {
 		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\t" + tsvHeader())
 	}
 
-	runPoint := func(bwGBps, mtbfYears float64) {
-		p := mkPlatform(bwGBps, mtbfYears)
-		base := repro.Config{
-			Platform:    p,
-			Classes:     repro.APEXClasses(),
-			Seed:        *seed,
-			HorizonDays: *days,
+	// The whole experiment — one point or a -sweep-* series, times the
+	// strategy set — is a single scenario grid evaluated through the
+	// engine's Sweep driver, so every point reuses the same per-worker
+	// simulation arenas.
+	base := repro.Config{
+		Platform:    mkPlatform(*bw, *mtbf),
+		Classes:     repro.APEXClasses(),
+		Seed:        *seed,
+		HorizonDays: *days,
+	}
+	grid := repro.SweepGrid{Strategies: strategies}
+	switch {
+	case *sweepBW != "":
+		lo, hi, step := parseSweep(*sweepBW)
+		for b := lo; b <= hi+1e-9; b += step {
+			grid.BandwidthsBps = append(grid.BandwidthsBps, units.GBps(b))
 		}
-		if !*tsv {
+	case *sweepMTBF != "":
+		lo, hi, step := parseSweep(*sweepMTBF)
+		for y := lo; y <= hi+1e-9; y += step {
+			grid.NodeMTBFSeconds = append(grid.NodeMTBFSeconds, units.Years(y))
+		}
+	}
+
+	// Exact candlesticks need only the waste ratios; the per-run
+	// Result structs are materialised solely for -breakdown.
+	opts := repro.MCOptions{KeepWasteRatios: true, KeepResults: *breakdown}
+	nStrats := len(strategies)
+	err := repro.Sweep(base, grid, *runs, *workers, opts, func(pt repro.SweepPoint, mc repro.MCResult) {
+		bwGBps := pt.BandwidthBps / units.GB
+		mtbfYears := pt.NodeMTBFSeconds / units.Year
+		p := base.Platform
+		p.BandwidthBps = pt.BandwidthBps
+		p.NodeMTBFSeconds = pt.NodeMTBFSeconds
+		if !*tsv && pt.Index%nStrats == 0 {
 			fmt.Printf("platform=%s bandwidth=%s nodeMTBF=%.1fy systemMTBF=%s runs=%d days=%.0f seed=%d\n",
 				p.Name, units.FormatBandwidth(p.BandwidthBps), mtbfYears,
 				units.FormatDuration(p.SystemMTBF()), *runs, *days, *seed)
-		}
-		// Exact candlesticks need only the waste ratios; the per-run
-		// Result structs are materialised solely for -breakdown.
-		opts := repro.MCOptions{KeepWasteRatios: true, KeepResults: *breakdown}
-		results, err := repro.CompareStrategiesOpts(base, strategies, *runs, *workers, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
-			os.Exit(1)
-		}
-		if *tsv {
-			for _, mc := range results {
-				fmt.Printf("%s\t%g\t%g\t%s\n", mc.Strategy, bwGBps, mtbfYears, mc.Summary.TSVRow())
-			}
-		} else {
 			fmt.Printf("%-18s %8s %8s %8s %8s %8s %8s\n",
 				"strategy", "mean", "p10", "p25", "p75", "p90", "util")
-			for _, mc := range results {
-				s := mc.Summary
-				fmt.Printf("%-18s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f\n",
-					mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.MeanUtilization)
-				if *breakdown {
-					printBreakdown(mc)
-				}
+		}
+		s := mc.Summary
+		if *tsv {
+			fmt.Printf("%s\t%g\t%g\t%s\n", mc.Strategy, bwGBps, mtbfYears, s.TSVRow())
+		} else {
+			fmt.Printf("%-18s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f\n",
+				mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.MeanUtilization)
+			if *breakdown {
+				printBreakdown(mc)
 			}
 		}
-		if *theory {
+		if *theory && (pt.Index+1)%nStrats == 0 {
 			sol, err := repro.LowerBound(p, repro.APEXClasses())
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "coopsim: lower bound: %v\n", err)
@@ -142,21 +156,10 @@ func main() {
 					"Theoretical-Model", sol.Waste, sol.Lambda, sol.IOFraction, sol.Constrained)
 			}
 		}
-	}
-
-	switch {
-	case *sweepBW != "":
-		lo, hi, step := parseSweep(*sweepBW)
-		for b := lo; b <= hi+1e-9; b += step {
-			runPoint(b, *mtbf)
-		}
-	case *sweepMTBF != "":
-		lo, hi, step := parseSweep(*sweepMTBF)
-		for y := lo; y <= hi+1e-9; y += step {
-			runPoint(*bw, y)
-		}
-	default:
-		runPoint(*bw, *mtbf)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -185,8 +188,10 @@ func tsvHeader() string {
 
 // runBenchJSON benchmarks the standard scenario (one 60-day
 // Ordered-NB-Daly run on Cielo, 40 GB/s, 2-year node MTBF — the same unit
-// as BenchmarkEngine) and writes a machine-readable record so the perf
-// trajectory is tracked across PRs.
+// as BenchmarkEngine) plus the Monte-Carlo replicate throughput of a
+// reused arena against a fresh build per replicate (the same comparison
+// as BenchmarkMonteCarlo), and writes a machine-readable record so the
+// perf trajectory is tracked across PRs.
 func runBenchJSON(path string) {
 	cfg := repro.Config{
 		Platform:    repro.Cielo(40, 2),
@@ -212,6 +217,34 @@ func runBenchJSON(path string) {
 		}
 	})
 	eventsPerOp := float64(events) / float64(iters)
+
+	// Monte-Carlo replicate throughput, single worker: reused arena vs
+	// fresh build per replicate.
+	arenaRes := testing.Benchmark(func(b *testing.B) {
+		arena, err := repro.NewArena(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+			os.Exit(1)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := arena.Run(uint64(i)); err != nil {
+				fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	})
+	freshRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i)
+			if _, err := repro.Run(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	})
+
 	record := map[string]any{
 		"scenario":       "cielo-40GBps-mtbf2y-ordered-nb-daly-60d",
 		"go":             runtime.Version(),
@@ -221,6 +254,14 @@ func runBenchJSON(path string) {
 		"bytes_per_op":   res.AllocedBytesPerOp(),
 		"events_per_op":  eventsPerOp,
 		"events_per_sec": eventsPerOp / (float64(res.NsPerOp()) / 1e9),
+		"monte_carlo": map[string]any{
+			"arena_replicates_per_sec": 1e9 / float64(arenaRes.NsPerOp()),
+			"arena_allocs_per_op":      arenaRes.AllocsPerOp(),
+			"arena_bytes_per_op":       arenaRes.AllocedBytesPerOp(),
+			"fresh_replicates_per_sec": 1e9 / float64(freshRes.NsPerOp()),
+			"fresh_allocs_per_op":      freshRes.AllocsPerOp(),
+			"fresh_bytes_per_op":       freshRes.AllocedBytesPerOp(),
+		},
 	}
 	out, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {

@@ -120,34 +120,43 @@ func table1(opts options) {
 	fmt.Println()
 }
 
-// sweepPoint runs all strategies plus the theory bound at one (platform,
-// label) point and prints a block of rows.
-func sweepPoint(opts options, p repro.Platform, axis string, axisValue float64) {
-	base := repro.Config{
-		Platform:    p,
-		Classes:     repro.APEXClasses(),
-		Seed:        opts.seed,
-		HorizonDays: opts.days,
-	}
+// runSweep evaluates a scenario grid over the base configuration through
+// the engine's arena-reusing Sweep driver — one set of per-worker
+// simulation arenas serves every (scenario × strategy) cell — printing one
+// row per strategy and the §4 theory bound after each scenario's block.
+// axisValue maps a sweep point to the printed x-axis figure.
+func runSweep(opts options, base repro.Config, grid repro.SweepGrid, axis string, axisValue func(repro.SweepPoint) float64) {
+	nStrats := len(grid.Strategies)
 	// Exact candlesticks from the waste ratios alone: paper-scale -runs
 	// never materialises per-run Result structs.
-	results, err := repro.CompareStrategiesOpts(base, repro.AllStrategies(), opts.runs, opts.workers,
-		repro.MCOptions{KeepWasteRatios: true})
+	err := repro.Sweep(base, grid, opts.runs, opts.workers,
+		repro.MCOptions{KeepWasteRatios: true},
+		func(pt repro.SweepPoint, mc repro.MCResult) {
+			v := axisValue(pt)
+			s := mc.Summary
+			if opts.tsv {
+				fmt.Printf("%s\t%g\t%s\t%s\n", axis, v, mc.Strategy, s.TSVRow())
+			} else {
+				fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]\n",
+					axis, v, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90)
+			}
+			if (pt.Index+1)%nStrats == 0 {
+				p := base.Platform
+				p.BandwidthBps = pt.BandwidthBps
+				p.NodeMTBFSeconds = pt.NodeMTBFSeconds
+				theoryRow(opts, p, axis, v)
+			}
+		})
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// theoryRow prints the §4 lower bound for one scenario.
+func theoryRow(opts options, p repro.Platform, axis string, axisValue float64) {
 	sol, err := repro.LowerBound(p, repro.APEXClasses())
 	if err != nil {
 		fatal(err)
-	}
-	for _, mc := range results {
-		s := mc.Summary
-		if opts.tsv {
-			fmt.Printf("%s\t%g\t%s\t%s\n", axis, axisValue, mc.Strategy, s.TSVRow())
-		} else {
-			fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]\n",
-				axis, axisValue, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90)
-		}
 	}
 	if opts.tsv {
 		fmt.Printf("%s\t%g\tTheoretical-Model\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
@@ -167,9 +176,18 @@ func fig1(opts options) {
 		bws = []float64{40, 100, 160}
 	}
 	start := time.Now()
-	for _, bw := range bws {
-		sweepPoint(opts, repro.Cielo(bw, 2), "bandwidth_gbps", bw)
+	base := repro.Config{
+		Platform:    repro.Cielo(bws[0], 2),
+		Classes:     repro.APEXClasses(),
+		Seed:        opts.seed,
+		HorizonDays: opts.days,
 	}
+	grid := repro.SweepGrid{Strategies: repro.AllStrategies()}
+	for _, bw := range bws {
+		grid.BandwidthsBps = append(grid.BandwidthsBps, units.GBps(bw))
+	}
+	runSweep(opts, base, grid, "bandwidth_gbps",
+		func(pt repro.SweepPoint) float64 { return pt.BandwidthBps / units.GB })
 	fmt.Printf("-- fig1 done in %v --\n\n", time.Since(start).Round(time.Second))
 }
 
@@ -181,9 +199,18 @@ func fig2(opts options) {
 		years = []float64{2, 10, 50}
 	}
 	start := time.Now()
-	for _, y := range years {
-		sweepPoint(opts, repro.Cielo(40, y), "mtbf_years", y)
+	base := repro.Config{
+		Platform:    repro.Cielo(40, years[0]),
+		Classes:     repro.APEXClasses(),
+		Seed:        opts.seed,
+		HorizonDays: opts.days,
 	}
+	grid := repro.SweepGrid{Strategies: repro.AllStrategies()}
+	for _, y := range years {
+		grid.NodeMTBFSeconds = append(grid.NodeMTBFSeconds, units.Years(y))
+	}
+	runSweep(opts, base, grid, "mtbf_years",
+		func(pt repro.SweepPoint) float64 { return pt.NodeMTBFSeconds / units.Year })
 	fmt.Printf("-- fig2 done in %v --\n\n", time.Since(start).Round(time.Second))
 }
 

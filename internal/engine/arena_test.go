@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/burstbuffer"
+	"repro/internal/units"
+)
+
+// arenaConfigs returns the configurations the reuse invariant is pinned
+// on: all four I/O disciplines plus a burst-buffer setup.
+func arenaConfigs() map[string]Config {
+	bb := tinyConfig(OrderedDaly(), 0)
+	bbCfg := burstbuffer.Default()
+	bb.BurstBuffer = &bbCfg
+	return map[string]Config{
+		"oblivious":    tinyConfig(ObliviousDaly(), 0),
+		"ordered":      tinyConfig(OrderedDaly(), 0),
+		"ordered-nb":   tinyConfig(OrderedNBDaly(), 0),
+		"least-waste":  tinyConfig(LeastWaste(), 0),
+		"burst-buffer": bb,
+	}
+}
+
+// TestArenaBitIdentity pins the arena reuse invariant: a replicate run in
+// a reused arena must be bit-identical to a fresh-build run of the same
+// seed, in every Result field, for every discipline and the burst-buffer
+// path. Seed A runs fresh; then one arena runs seed B (dirtying every
+// pool) followed by seed A again.
+func TestArenaBitIdentity(t *testing.T) {
+	const seedA, seedB = 12345, 999
+	for name, cfg := range arenaConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.Seed = seedA
+			fresh := mustRun(t, cfg)
+
+			a, err := NewArena(cfg)
+			if err != nil {
+				t.Fatalf("NewArena: %v", err)
+			}
+			if _, err := a.Run(seedB); err != nil {
+				t.Fatalf("arena run (seed B): %v", err)
+			}
+			reused, err := a.Run(seedA)
+			if err != nil {
+				t.Fatalf("arena run (seed A): %v", err)
+			}
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Fatalf("reused arena diverged from fresh build:\n fresh  %+v\n reused %+v", fresh, reused)
+			}
+			// A third pass over the same seed must also be stable.
+			again, err := a.Run(seedA)
+			if err != nil {
+				t.Fatalf("arena rerun: %v", err)
+			}
+			if !reflect.DeepEqual(fresh, again) {
+				t.Fatalf("second reuse of seed A diverged:\n fresh %+v\n again %+v", fresh, again)
+			}
+		})
+	}
+}
+
+// TestArenaReconfigureBitIdentity pins the same invariant across
+// Reconfigure: an arena cycled through a different scenario (other
+// bandwidth, strategy and failure model) and back must reproduce the
+// fresh-build result exactly — the property the Sweep driver rests on.
+func TestArenaReconfigureBitIdentity(t *testing.T) {
+	cfgA := tinyConfig(LeastWaste(), 7)
+	cfgB := tinyConfig(OrderedNBDaly(), 7)
+	cfgB.Platform = tinyPlatform(0.25, 0.5)
+
+	fresh := mustRun(t, cfgA)
+
+	a, err := NewArena(cfgB)
+	if err != nil {
+		t.Fatalf("NewArena: %v", err)
+	}
+	if _, err := a.Run(7); err != nil {
+		t.Fatalf("run under config B: %v", err)
+	}
+	if err := a.Reconfigure(cfgA); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	got, err := a.Run(7)
+	if err != nil {
+		t.Fatalf("run under config A: %v", err)
+	}
+	if !reflect.DeepEqual(fresh, got) {
+		t.Fatalf("reconfigured arena diverged from fresh build:\n fresh %+v\n got   %+v", fresh, got)
+	}
+}
+
+// TestArenaPairedBaseline checks the paired-baseline path works through a
+// reused arena (the nested baseline arena is itself reused).
+func TestArenaPairedBaseline(t *testing.T) {
+	cfg := tinyConfig(OrderedNBDaly(), 17)
+	cfg.PairedBaseline = true
+	fresh := mustRun(t, cfg)
+
+	a, err := NewArena(cfg)
+	if err != nil {
+		t.Fatalf("NewArena: %v", err)
+	}
+	if _, err := a.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Run(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PairedWasteRatio != fresh.PairedWasteRatio {
+		t.Fatalf("paired ratio %v != fresh %v", got.PairedWasteRatio, fresh.PairedWasteRatio)
+	}
+}
+
+// TestArenaInvalidConfig ensures configuration errors surface from both
+// NewArena and Reconfigure, and that a failed Reconfigure does not run.
+func TestArenaInvalidConfig(t *testing.T) {
+	bad := tinyConfig(OrderedDaly(), 1)
+	bad.Platform.Nodes = 0
+	if _, err := NewArena(bad); err == nil {
+		t.Fatal("NewArena accepted an invalid config")
+	}
+	a, err := NewArena(tinyConfig(OrderedDaly(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reconfigure(bad); err == nil {
+		t.Fatal("Reconfigure accepted an invalid config")
+	}
+}
+
+// TestSweepMatchesPointwiseMonteCarlo pins Sweep against the ground truth:
+// every grid point's MCResult must be bit-identical to an independent
+// MonteCarloOpts evaluation of that point's configuration, even though the
+// sweep reuses one arena set across the whole grid.
+func TestSweepMatchesPointwiseMonteCarlo(t *testing.T) {
+	base := tinyConfig(OrderedDaly(), 29)
+	grid := SweepGrid{
+		BandwidthsBps: []float64{units.GBps(0.25), units.GBps(0.5)},
+		Strategies:    []Strategy{OrderedNBDaly(), LeastWaste()},
+	}
+	const runs = 3
+	var pts []SweepPoint
+	var got []MCResult
+	err := Sweep(base, grid, runs, 2, MCOptions{KeepWasteRatios: true},
+		func(pt SweepPoint, mc MCResult) {
+			pts = append(pts, pt)
+			got = append(got, mc)
+		})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("sweep delivered %d points, want 4", len(got))
+	}
+	for i, pt := range pts {
+		if pt.Index != i {
+			t.Fatalf("point %d delivered with Index %d", i, pt.Index)
+		}
+		cfg := base
+		cfg.Platform.BandwidthBps = pt.BandwidthBps
+		cfg.Platform.NodeMTBFSeconds = pt.NodeMTBFSeconds
+		cfg.Strategy = pt.Strategy
+		want, err := MonteCarloOpts(cfg, runs, 2, MCOptions{KeepWasteRatios: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("point %d (%s @ %v B/s) diverged:\n sweep %+v\n fresh %+v",
+				i, pt.Strategy.Name(), pt.BandwidthBps, got[i], want)
+		}
+	}
+}
+
+// TestSweepGridDefaults: empty axes inherit the base configuration, and a
+// fully empty grid is a single point.
+func TestSweepGridDefaults(t *testing.T) {
+	base := tinyConfig(LeastWaste(), 31)
+	pts := SweepGrid{}.Points(base)
+	if len(pts) != 1 {
+		t.Fatalf("empty grid has %d points, want 1", len(pts))
+	}
+	pt := pts[0]
+	if pt.BandwidthBps != base.Platform.BandwidthBps ||
+		pt.NodeMTBFSeconds != base.Platform.NodeMTBFSeconds ||
+		pt.Strategy != base.Strategy ||
+		pt.Failure.Model != base.FailureModel {
+		t.Fatalf("default point %+v does not match base", pt)
+	}
+	count := 0
+	if err := Sweep(base, SweepGrid{}, 2, 1, MCOptions{}, func(SweepPoint, MCResult) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("empty-grid sweep fired %d callbacks, want 1", count)
+	}
+	if err := Sweep(base, SweepGrid{}, 0, 1, MCOptions{}, nil); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}

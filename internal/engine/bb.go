@@ -22,37 +22,38 @@ import (
 // overhead at the buffer-commit time and the I/O constraint at the PFS
 // drain occupancy, so checkpoints are exactly as frequent as the drain
 // path can keep durable. Fixed policies and the naive model keep the
-// plain per-class period.
-func (s *simulation) deriveBBPeriods() error {
-	bb := s.cfg.BurstBuffer
+// plain per-class period (nil return). The solution depends only on the
+// scenario, not the seed, so arenas compute it once per Reconfigure.
+func deriveBBPeriods(cfg Config, params []workload.ClassParams) ([]float64, error) {
+	bb := cfg.BurstBuffer
 	if bb == nil || bb.Period != burstbuffer.PeriodCooperative ||
-		s.cfg.Strategy.Policy.Kind != ckpt.Daly || !bb.DrainToPFS ||
+		cfg.Strategy.Policy.Kind != ckpt.Daly || !bb.DrainToPFS ||
 		bb.Resilient {
 		// Resilient buffers are durable at commit time: drains are mere
 		// replication and must not stretch the checkpoint period.
-		return nil
+		return nil, nil
 	}
-	n := workload.SteadyStateJobs(s.cfg.Platform, s.params)
+	bw := cfg.Platform.BandwidthBps
+	n := workload.SteadyStateJobs(cfg.Platform, params)
 	in := lowerbound.Input{
-		Nodes: float64(s.cfg.Platform.Nodes),
-		MuInd: s.muInd,
+		Nodes: float64(cfg.Platform.Nodes),
+		MuInd: cfg.Platform.NodeMTBFSeconds,
 	}
-	for i, cp := range s.params {
+	for i, cp := range params {
 		in.Classes = append(in.Classes, lowerbound.Class{
 			Name: cp.Name,
 			N:    n[i],
 			Q:    float64(cp.Nodes),
 			C:    bb.CommitSeconds(cp.CkptBytes, cp.Nodes),
-			R:    cp.RecoverySeconds(s.bw),
-			IOC:  cp.CkptSeconds(s.bw), // drain occupancy on the PFS
+			R:    cp.RecoverySeconds(bw),
+			IOC:  cp.CkptSeconds(bw), // drain occupancy on the PFS
 		})
 	}
 	sol, err := lowerbound.Solve(in)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s.classPeriods = sol.Periods
-	return nil
+	return sol.Periods, nil
 }
 
 // bbCkptDue handles a due checkpoint when the burst buffer is enabled:

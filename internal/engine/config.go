@@ -6,7 +6,6 @@ import (
 	"repro/internal/burstbuffer"
 	"repro/internal/failure"
 	"repro/internal/iomodel"
-	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -162,10 +161,4 @@ type Result struct {
 // window returns the measurement bounds in seconds.
 func (c Config) window() (w0, w1 float64) {
 	return units.Days(c.WarmupDays), units.Days(c.HorizonDays - c.CooldownDays)
-}
-
-// newLedger builds the run's ledger.
-func (c Config) newLedger() *metrics.Ledger {
-	w0, w1 := c.window()
-	return metrics.NewLedger(w0, w1)
 }

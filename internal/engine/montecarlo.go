@@ -74,9 +74,43 @@ func MonteCarloOpts(cfg Config, runs, workers int, opts MCOptions) (MCResult, er
 	if runs <= 0 {
 		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
 	}
+	return monteCarloWith(make([]*Arena, normWorkers(runs, workers)), cfg, runs, opts)
+}
+
+// normWorkers resolves the worker count: 0 means GOMAXPROCS, and never
+// more workers than runs.
+func normWorkers(runs, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > runs {
+		workers = runs
+	}
+	return workers
+}
+
+// replicateSeed derives the independent per-run seed of run i. Stream
+// 100+i avoids colliding with the internal generation/failure streams
+// (1 and 2) of any seed, and the derivation is independent of the total
+// run count, so extending an experiment reuses earlier runs' results
+// exactly.
+func replicateSeed(masterSeed uint64, i int) uint64 {
+	var r rng.RNG
+	r.ReseedStream(masterSeed, uint64(100+i))
+	return r.Uint64()
+}
+
+// monteCarloWith is the core Monte-Carlo driver: one reusable Arena per
+// worker (created lazily into arenas, reconfigured in place when the slot
+// already holds one from an earlier scenario) with replicates delivered in
+// deterministic run order. Callers that evaluate several scenarios — Sweep,
+// the Figure 3 bisection — pass the same arenas slice each time, so the
+// whole grid reuses the per-worker simulation state.
+func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCResult, error) {
+	if runs <= 0 {
+		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
+	}
+	workers := len(arenas)
 	if workers > runs {
 		workers = runs
 	}
@@ -102,17 +136,32 @@ func MonteCarloOpts(cfg Config, runs, workers int, opts MCOptions) (MCResult, er
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// The slot may hold an arena configured for a previous
+			// scenario; point it at this one before the first replicate.
+			reconfigured := false
 			for i := range next {
-				runCfg := cfg
-				// Stream 100+i avoids colliding with the internal
-				// generation/failure streams (1 and 2) of any seed.
-				runCfg.Seed = rng.NewStream(cfg.Seed, uint64(100+i)).Uint64()
-				r, err := Run(runCfg)
+				a := arenas[w]
+				var err error
+				switch {
+				case a == nil:
+					if a, err = NewArena(cfg); err == nil {
+						arenas[w] = a
+						reconfigured = true
+					}
+				case !reconfigured:
+					if err = a.Reconfigure(cfg); err == nil {
+						reconfigured = true
+					}
+				}
+				var r Result
+				if err == nil {
+					r, err = a.Run(replicateSeed(cfg.Seed, i))
+				}
 				resCh <- item{i: i, r: r, err: err}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		dispatched := 0
@@ -221,17 +270,17 @@ func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([
 // CompareStrategiesOpts is CompareStrategies with explicit materialisation
 // options — pass the zero MCOptions (or KeepWasteRatios alone for exact
 // candlesticks) to run paper-scale paired sweeps without holding per-run
-// results in memory.
+// results in memory. It is a one-axis Sweep, so the per-worker arenas are
+// reused across all strategies.
 func CompareStrategiesOpts(base Config, strategies []Strategy, runs, workers int, opts MCOptions) ([]MCResult, error) {
 	out := make([]MCResult, 0, len(strategies))
-	for _, strat := range strategies {
-		cfg := base
-		cfg.Strategy = strat
-		mc, err := MonteCarloOpts(cfg, runs, workers, opts)
-		if err != nil {
-			return nil, fmt.Errorf("engine: strategy %s: %w", strat.Name(), err)
-		}
-		out = append(out, mc)
+	if len(strategies) == 0 {
+		return out, nil
+	}
+	err := Sweep(base, SweepGrid{Strategies: strategies}, runs, workers, opts,
+		func(_ SweepPoint, mc MCResult) { out = append(out, mc) })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -256,10 +305,14 @@ func MinBandwidthForEfficiency(cfg Config, targetEfficiency float64, loBps, hiBp
 		steps = 12
 	}
 	maxWaste := 1 - targetEfficiency
+	// One arena set serves every probe of the bisection: each bandwidth
+	// evaluation reconfigures the per-worker arenas instead of rebuilding
+	// the simulation state from scratch.
+	arenas := make([]*Arena, normWorkers(runs, workers))
 	meanWaste := func(bps float64) (float64, error) {
 		c := cfg
 		c.Platform.BandwidthBps = bps
-		mc, err := MonteCarloStream(c, runs, workers, nil)
+		mc, err := monteCarloWith(arenas, c, runs, MCOptions{})
 		if err != nil {
 			return 0, err
 		}

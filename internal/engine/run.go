@@ -6,13 +6,10 @@ import (
 
 	"repro/internal/failure"
 	"repro/internal/iomodel"
-	"repro/internal/iosched"
 	"repro/internal/jobsched"
 	"repro/internal/metrics"
 	"repro/internal/platform"
-	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -40,6 +37,11 @@ type simulation struct {
 	// time, chained by onFailure).
 	failNode int32
 	failArm  failureArm
+	// schedArm is the closure-free handler for the initial scheduling
+	// kick at time zero.
+	schedArm schedArm
+	// pool recycles jobRun structs across the owning arena's replicates.
+	pool *runPool
 }
 
 // failureArm adapts the simulation's failure chain to sim.Handler.
@@ -47,6 +49,12 @@ type failureArm struct{ s *simulation }
 
 // Fire implements sim.Handler.
 func (a *failureArm) Fire() { a.s.onFailure() }
+
+// schedArm adapts the scheduling kick to sim.Handler.
+type schedArm struct{ s *simulation }
+
+// Fire implements sim.Handler.
+func (a *schedArm) Fire() { a.s.trySchedule() }
 
 // fireTimer dispatches a job's timer arms (see timerArm): one switch
 // replaces the per-arm closures of the event-scheduling call sites.
@@ -69,119 +77,32 @@ func (s *simulation) fireTimer(j *jobRun, kind timerKind) {
 	}
 }
 
-// Run executes one simulation and returns its measurements.
+// Run executes one simulation and returns its measurements. It is the
+// fresh-build path: a single-use Arena is assembled and run once. Code
+// that replicates a configuration over many seeds should hold an Arena
+// (or use the Monte-Carlo drivers, which do) so the per-run setup is
+// reused instead of rebuilt.
 func Run(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return Result{}, err
-	}
-	s, err := build(cfg)
+	a, err := NewArena(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	s.execute()
-	res := s.finalize()
-
-	if cfg.PairedBaseline && !cfg.BaselineIO {
-		base := cfg
-		base.PairedBaseline = false
-		base.DisableFailures = true
-		base.DisableCheckpoints = true
-		base.BaselineIO = true
-		baseRes, err := Run(base)
-		if err != nil {
-			return Result{}, fmt.Errorf("engine: paired baseline: %w", err)
-		}
-		if baseRes.UsefulNodeSeconds > 0 {
-			res.PairedWasteRatio = res.WasteNodeSeconds / baseRes.UsefulNodeSeconds
-		}
-	}
-	return res, nil
-}
-
-// build assembles the simulation: workload, devices, failure chain.
-func build(cfg Config) (*simulation, error) {
-	params, err := workload.Instantiate(cfg.Platform, cfg.Classes)
-	if err != nil {
-		return nil, err
-	}
-	genRNG := rng.NewStream(cfg.Seed, 1)
-	jobs, err := workload.Generate(genRNG, cfg.Platform, params, cfg.Gen)
-	if err != nil {
-		return nil, err
-	}
-
-	s := &simulation{
-		cfg:     cfg,
-		eng:     sim.New(),
-		params:  params,
-		nodes:   platform.NewNodeMap(cfg.Platform.Nodes),
-		ledger:  cfg.newLedger(),
-		horizon: units.Days(cfg.HorizonDays),
-		bw:      cfg.Platform.BandwidthBps,
-		muInd:   cfg.Platform.NodeMTBFSeconds,
-	}
-	s.failArm.s = s
-	s.res.Strategy = cfg.Strategy.Name()
-	s.res.JobsGenerated = len(jobs)
-
-	switch {
-	case cfg.BaselineIO:
-		s.device = iomodel.NewSharedDevice(s.eng, s.bw, iomodel.Unlimited{})
-	case cfg.Strategy.Discipline == iosched.Oblivious:
-		s.device = iomodel.NewSharedDevice(s.eng, s.bw, cfg.Interference)
-	case cfg.Strategy.Discipline == iosched.LeastWaste:
-		// Equation (2) already arbitrates drains: a drain candidate's
-		// growing failure exposure eventually outweighs foreground
-		// requests, so no special background class is needed.
-		sel := iosched.NewLeastWasteSelector(s.muInd, s.bw)
-		s.device = iomodel.NewTokenDevice(s.eng, s.bw, sel)
-	case cfg.BurstBuffer != nil:
-		// FCFS with burst-buffer drains demoted to a background class
-		// (drain-when-idle), or long drains would head-of-line-block
-		// job input/output behind the token.
-		s.device = iomodel.NewTokenDevice(s.eng, s.bw, iomodel.FCFSBackground{})
-	default:
-		s.device = iomodel.NewTokenDevice(s.eng, s.bw, iomodel.FCFS{})
-	}
-
-	s.failSrc = failure.NewSource(rng.NewStream(cfg.Seed, 2), failure.Config{
-		Model:           cfg.FailureModel,
-		WeibullShape:    cfg.WeibullShape,
-		NodeMTBFSeconds: cfg.Platform.NodeMTBFSeconds,
-		Nodes:           cfg.Platform.Nodes,
-		Disabled:        cfg.DisableFailures,
-	})
-
-	if err := s.deriveBBPeriods(); err != nil {
-		return nil, err
-	}
-
-	// One spec per generated job; the initial instance of each is queued
-	// in priority order.
-	s.specs = make([]*specState, len(jobs))
-	for i, job := range jobs {
-		s.specs[i] = &specState{spec: job, class: &s.params[job.Class]}
-	}
-	for _, spec := range s.specs {
-		s.newInstance(spec)
-	}
-	return s, nil
+	return a.Run(cfg.Seed)
 }
 
 // newInstance creates and enqueues a job instance for the spec, inheriting
-// committed progress (a failure restart when attempts > 0).
+// committed progress (a failure restart when attempts > 0). The jobRun
+// comes zeroed from the arena's pool.
 func (s *simulation) newInstance(spec *specState) *jobRun {
 	cp := spec.class
-	j := &jobRun{
-		id:       int32(len(s.runs)),
-		spec:     spec,
-		owner:    s,
-		phase:    phaseQueued,
-		progress: spec.committed,
-		ckptC:    cp.CkptSeconds(s.bw),
-		ckptR:    cp.RecoverySeconds(s.bw),
-	}
+	j := s.pool.get()
+	j.id = int32(len(s.runs))
+	j.spec = spec
+	j.owner = s
+	j.phase = phaseQueued
+	j.progress = spec.committed
+	j.ckptC = cp.CkptSeconds(s.bw)
+	j.ckptR = cp.RecoverySeconds(s.bw)
 	j.stopArm = timerArm{j: j, kind: timerStop}
 	j.ckptArm = timerArm{j: j, kind: timerCkpt}
 	j.bbCommitArm = timerArm{j: j, kind: timerBBCommit}
@@ -230,7 +151,7 @@ func (s *simulation) newInstance(spec *specState) *jobRun {
 
 // execute runs the event loop to the horizon.
 func (s *simulation) execute() {
-	s.eng.Schedule(0, func() { s.trySchedule() })
+	s.eng.ScheduleHandler(0, &s.schedArm)
 	s.armNextFailure()
 	s.eng.Run(s.horizon)
 }
@@ -249,7 +170,9 @@ func (s *simulation) armNextFailure() {
 func (s *simulation) onFailure() {
 	s.res.FailureEvents++
 	owner := s.nodes.Owner(s.failNode)
-	s.trace("failure", -1, fmt.Sprintf("node %d owner %d", s.failNode, owner))
+	if s.cfg.Trace != nil { // guard: Sprintf must not run untraced
+		s.trace("failure", -1, fmt.Sprintf("node %d owner %d", s.failNode, owner))
+	}
 	if owner != platform.NoOwner {
 		s.res.Failures++
 		s.killJob(s.runs[owner])
@@ -281,7 +204,9 @@ func (s *simulation) startJob(j *jobRun) {
 	if j.recovery {
 		kind = iomodel.Recovery
 	}
-	s.trace("job-start", j.id, fmt.Sprintf("%s attempt %d", j.spec.class.Name, j.spec.attempts))
+	if s.cfg.Trace != nil { // guard: Sprintf must not run untraced
+		s.trace("job-start", j.id, fmt.Sprintf("%s attempt %d", j.spec.class.Name, j.spec.attempts))
+	}
 	s.device.Submit(j.newTransfer(kind, j.inputVolume))
 }
 
@@ -487,7 +412,9 @@ func (s *simulation) onCkptDone(j *jobRun) {
 	j.provisional = 0
 	j.lastCkptEnd = now
 	s.res.Checkpoints++
-	s.trace("ckpt-commit", j.id, fmt.Sprintf("progress %.0fs", j.snapshot))
+	if s.cfg.Trace != nil { // guard: Sprintf must not run untraced
+		s.trace("ckpt-commit", j.id, fmt.Sprintf("progress %.0fs", j.snapshot))
+	}
 	s.beginCompute(j)
 	s.armCheckpoint(j, math.Max(j.period-j.ckptC, 0))
 }
@@ -580,7 +507,9 @@ func (s *simulation) killJob(j *jobRun) {
 		panic(err)
 	}
 	s.res.JobsFailed++
-	s.trace("job-killed", j.id, fmt.Sprintf("committed %.0fs of %.0fs", j.spec.committed, j.totalWork()))
+	if s.cfg.Trace != nil { // guard: Sprintf must not run untraced
+		s.trace("job-killed", j.id, fmt.Sprintf("committed %.0fs of %.0fs", j.spec.committed, j.totalWork()))
+	}
 	s.newInstance(j.spec)
 	s.trySchedule()
 }
@@ -637,8 +566,9 @@ func (s *simulation) finalize() Result {
 	s.res.UsefulNodeSeconds = s.ledger.Useful()
 	s.res.WasteNodeSeconds = s.ledger.Waste()
 	s.res.Utilization = s.ledger.Utilization(s.cfg.Platform.Nodes)
-	s.res.WasteByCategory = make(map[string]float64, len(metrics.Categories()))
-	for _, cat := range metrics.Categories() {
+	cats := metrics.Categories()
+	s.res.WasteByCategory = make(map[string]float64, len(cats))
+	for _, cat := range cats {
 		s.res.WasteByCategory[cat.String()] = s.ledger.WasteIn(cat)
 	}
 	s.res.Events = s.eng.Executed()

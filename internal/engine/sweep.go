@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+)
+
+// FailureSpec pairs a failure inter-arrival model with its shape parameter
+// (used only by the Weibull model) — one point of a sweep's failure axis.
+type FailureSpec struct {
+	Model        failure.Model
+	WeibullShape float64
+}
+
+// SweepGrid spans a scenario grid over a base configuration: the cross
+// product of the four axes the paper's evaluation varies. An empty axis
+// keeps the base configuration's value, so a grid with only Strategies set
+// is exactly a strategy comparison. Points enumerate with bandwidth
+// outermost and strategy innermost, keeping the strategies of one scenario
+// adjacent — the paired design of §5's comparisons (identical per-run
+// seeds, hence identical job mixes and failure traces).
+type SweepGrid struct {
+	// BandwidthsBps are aggregated PFS bandwidths in bytes/s (Figure 1's
+	// x-axis).
+	BandwidthsBps []float64
+	// NodeMTBFSeconds are per-node MTBFs in seconds (Figure 2's x-axis).
+	NodeMTBFSeconds []float64
+	// FailureSpecs are failure inter-arrival laws (extension axis).
+	FailureSpecs []FailureSpec
+	// Strategies are the I/O-discipline × checkpoint-policy variants.
+	Strategies []Strategy
+}
+
+// SweepPoint is one cell of a sweep grid, with every axis value resolved.
+type SweepPoint struct {
+	// Index is the point's position in grid enumeration order.
+	Index int
+	// BandwidthBps and NodeMTBFSeconds are the platform overrides.
+	BandwidthBps    float64
+	NodeMTBFSeconds float64
+	// Failure is the failure-process override.
+	Failure FailureSpec
+	// Strategy is the strategy override.
+	Strategy Strategy
+}
+
+// Points enumerates the grid over the base configuration in evaluation
+// order: bandwidth, then MTBF, then failure model, then strategy
+// (innermost).
+func (g SweepGrid) Points(base Config) []SweepPoint {
+	bws := g.BandwidthsBps
+	if len(bws) == 0 {
+		bws = []float64{base.Platform.BandwidthBps}
+	}
+	mtbfs := g.NodeMTBFSeconds
+	if len(mtbfs) == 0 {
+		mtbfs = []float64{base.Platform.NodeMTBFSeconds}
+	}
+	fails := g.FailureSpecs
+	if len(fails) == 0 {
+		fails = []FailureSpec{{Model: base.FailureModel, WeibullShape: base.WeibullShape}}
+	}
+	strats := g.Strategies
+	if len(strats) == 0 {
+		strats = []Strategy{base.Strategy}
+	}
+	pts := make([]SweepPoint, 0, len(bws)*len(mtbfs)*len(fails)*len(strats))
+	for _, bw := range bws {
+		for _, mtbf := range mtbfs {
+			for _, fs := range fails {
+				for _, strat := range strats {
+					pts = append(pts, SweepPoint{
+						Index:           len(pts),
+						BandwidthBps:    bw,
+						NodeMTBFSeconds: mtbf,
+						Failure:         fs,
+						Strategy:        strat,
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// apply resolves the point into a runnable configuration.
+func (pt SweepPoint) apply(base Config) Config {
+	cfg := base
+	cfg.Platform.BandwidthBps = pt.BandwidthBps
+	cfg.Platform.NodeMTBFSeconds = pt.NodeMTBFSeconds
+	cfg.FailureModel = pt.Failure.Model
+	cfg.WeibullShape = pt.Failure.WeibullShape
+	cfg.Strategy = pt.Strategy
+	return cfg
+}
+
+// Sweep runs the same Monte-Carlo experiment at every point of the grid,
+// streaming each point's MCResult to fn (which may be nil) in grid order.
+// One set of per-worker arenas serves the whole grid — each point
+// reconfigures them instead of rebuilding the simulation state — so a
+// multi-hundred-point parameter study pays the setup cost of a single
+// experiment. Every point sees the same per-run seed sequence (derived
+// from base.Seed), making all comparisons across the grid paired.
+// Aggregation per point follows opts, exactly as MonteCarloOpts.
+func Sweep(base Config, grid SweepGrid, runs, workers int, opts MCOptions, fn func(SweepPoint, MCResult)) error {
+	if runs <= 0 {
+		return fmt.Errorf("engine: non-positive run count %d", runs)
+	}
+	arenas := make([]*Arena, normWorkers(runs, workers))
+	for _, pt := range grid.Points(base) {
+		mc, err := monteCarloWith(arenas, pt.apply(base), runs, opts)
+		if err != nil {
+			return fmt.Errorf("engine: sweep point %d (%s): %w", pt.Index, pt.Strategy.Name(), err)
+		}
+		if fn != nil {
+			fn(pt, mc)
+		}
+	}
+	return nil
+}

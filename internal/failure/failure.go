@@ -74,9 +74,19 @@ type Source struct {
 // NewSource returns a failure source starting at time 0. It panics on
 // invalid configuration (non-positive MTBF or node count when enabled).
 func NewSource(r *rng.RNG, cfg Config) *Source {
-	s := &Source{cfg: cfg, r: r}
+	s := &Source{}
+	s.Reset(r, cfg)
+	return s
+}
+
+// Reset rewinds the source to time zero over a (typically freshly reseeded)
+// generator and configuration, exactly as NewSource would initialise it.
+// It lets a simulation arena reuse one Source across replicates. The same
+// validation panics apply.
+func (s *Source) Reset(r *rng.RNG, cfg Config) {
+	*s = Source{cfg: cfg, r: r}
 	if cfg.Disabled {
-		return s
+		return
 	}
 	if cfg.Nodes <= 0 {
 		panic("failure: non-positive node count")
@@ -90,7 +100,6 @@ func NewSource(r *rng.RNG, cfg Config) *Source {
 		}
 		s.scale = rng.WeibullScaleForMean(cfg.WeibullShape, s.systemMTBF())
 	}
-	return s
 }
 
 func (s *Source) systemMTBF() float64 {

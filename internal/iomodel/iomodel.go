@@ -189,6 +189,12 @@ type Device interface {
 	Waiting() int
 	// Bandwidth returns the aggregated device bandwidth in bytes/s.
 	Bandwidth() float64
+	// Reset returns the device to its initial idle state (queued and
+	// moving transfers are marked aborted without notification),
+	// retaining internal capacity for reuse across simulation
+	// replicates. The owning sim.Engine must be reset, or at time zero,
+	// first: stale wake events are dropped, not cancelled.
+	Reset()
 }
 
 // InterferenceModel computes per-transfer rates for a shared device.
@@ -282,6 +288,10 @@ type SharedDevice struct {
 	last   float64 // time active transfers were last advanced
 	wake   *sim.Event
 	seq    uint64
+	// rescheduling guards against re-entrant reschedule calls from
+	// completion callbacks (which may Submit or Abort): nested calls fold
+	// into the outer completion loop.
+	rescheduling bool
 	// scratch buffers reused across recomputations
 	weights []float64
 	rates   []float64
@@ -332,12 +342,39 @@ func (d *SharedDevice) Abort(t *Transfer) {
 	d.advance(now)
 	for i, a := range d.active {
 		if a == t {
-			d.active = append(d.active[:i], d.active[i+1:]...)
+			d.removeActive(i)
 			t.state = stateAborted
 			d.reschedule(now)
 			return
 		}
 	}
+}
+
+// removeActive swap-removes active[i] in O(1). Active order is free to
+// permute: rates depend only on the weight multiset, and the completion
+// scan in reschedule restarts from scratch after every removal.
+func (d *SharedDevice) removeActive(i int) {
+	last := len(d.active) - 1
+	d.active[i] = d.active[last]
+	d.active[last] = nil
+	d.active = d.active[:last]
+}
+
+// Reset returns the device to its initial idle state, retaining the active
+// and scratch capacity. Transfers still active or pending are marked
+// aborted without notification. The simulation engine must be reset (or at
+// time zero) first: the device's pending wake event is dropped, not
+// cancelled, on the assumption that the engine reset already recycled it.
+func (d *SharedDevice) Reset() {
+	for i := range d.active {
+		d.active[i].state = stateAborted
+		d.active[i] = nil
+	}
+	d.active = d.active[:0]
+	d.wake = nil
+	d.last = d.eng.Now()
+	d.seq = 0
+	d.rescheduling = false
 }
 
 // advance applies progress accrued since the last update at the current
@@ -372,46 +409,60 @@ func (d *SharedDevice) computeRates() {
 }
 
 // reschedule completes any finished transfers and arms the wake-up event
-// for the next completion.
+// for the next completion. Transfers that have drained — or are within the
+// minimum schedulable interval of draining — complete one at a time with
+// the rates recomputed in between (completing one raises the survivors'
+// rates, which can make more eligible). Completion callbacks may submit or
+// abort transfers re-entrantly; the rescheduling guard folds those nested
+// calls into this loop, keeping the cascade iterative and stack-safe when
+// many transfers complete at one instant.
 func (d *SharedDevice) reschedule(now float64) {
-	if d.wake != nil {
-		d.wake.Cancel()
-		d.wake = nil
-	}
-	if len(d.active) == 0 {
+	if d.rescheduling {
 		return
 	}
-	// Complete transfers that have drained or are within the minimum
-	// schedulable interval of draining (possibly several at once).
-	// Completion callbacks may submit new transfers re-entrantly; Submit
-	// calls advance (zero elapsed) and reschedule again, so guard against
-	// redundant recursion by completing one and recursing.
-	d.computeRates()
-	floor := minWake(now)
-	for i, t := range d.active {
-		if t.remaining <= volumeEpsilon ||
-			(d.rates[i] > 0 && t.remaining <= d.rates[i]*floor) {
-			d.active = append(d.active[:i], d.active[i+1:]...)
-			t.state = stateDone
-			t.remaining = 0
-			t.notifyComplete(now)
-			d.reschedule(d.eng.Now())
+	d.rescheduling = true
+	defer func() { d.rescheduling = false }()
+	for {
+		if d.wake != nil {
+			d.wake.Cancel()
+			d.wake = nil
+		}
+		if len(d.active) == 0 {
 			return
 		}
-	}
-	next := math.Inf(1)
-	for i, t := range d.active {
-		if d.rates[i] <= 0 {
+		d.computeRates()
+		floor := minWake(now)
+		completed := false
+		for i, t := range d.active {
+			if t.remaining <= volumeEpsilon ||
+				(d.rates[i] > 0 && t.remaining <= d.rates[i]*floor) {
+				d.removeActive(i)
+				t.state = stateDone
+				t.remaining = 0
+				t.notifyComplete(now)
+				completed = true
+				break // rates are stale; recompute before completing more
+			}
+		}
+		if completed {
+			now = d.eng.Now()
 			continue
 		}
-		if eta := t.remaining / d.rates[i]; eta < next {
-			next = eta
+		next := math.Inf(1)
+		for i, t := range d.active {
+			if d.rates[i] <= 0 {
+				continue
+			}
+			if eta := t.remaining / d.rates[i]; eta < next {
+				next = eta
+			}
 		}
+		if math.IsInf(next, 1) {
+			panic("iomodel: active transfers with zero aggregate rate")
+		}
+		d.wake = d.eng.AfterHandler(next, d)
+		return
 	}
-	if math.IsInf(next, 1) {
-		panic("iomodel: active transfers with zero aggregate rate")
-	}
-	d.wake = d.eng.AfterHandler(next, d)
 }
 
 // Fire implements sim.Handler: the device wakes at the next projected
@@ -538,6 +589,25 @@ func (d *TokenDevice) Abort(t *Transfer) {
 			return
 		}
 	}
+}
+
+// Reset returns the device to its initial idle state, retaining the
+// pending-queue capacity. The queued and granted transfers are marked
+// aborted without notification. As with SharedDevice.Reset, the engine
+// must be reset (or at time zero) first — the wake event is dropped, not
+// cancelled.
+func (d *TokenDevice) Reset() {
+	for i := range d.pending {
+		d.pending[i].state = stateAborted
+		d.pending[i] = nil
+	}
+	d.pending = d.pending[:0]
+	if d.current != nil {
+		d.current.state = stateAborted
+		d.current = nil
+	}
+	d.wake = nil
+	d.seq = 0
 }
 
 // grant hands the token to the selector's choice if the device is idle.

@@ -28,6 +28,18 @@ func (q *Queue) PushNormal(it Item) { q.normal = append(q.normal, it) }
 // among restarts).
 func (q *Queue) PushUrgent(it Item) { q.urgent = append(q.urgent, it) }
 
+// Reset empties both bands, retaining their capacity so a reused queue
+// enqueues without allocating.
+func (q *Queue) Reset() {
+	for i := range q.urgent {
+		q.urgent[i] = Item{}
+	}
+	for i := range q.normal {
+		q.normal[i] = Item{}
+	}
+	q.urgent, q.normal = q.urgent[:0], q.normal[:0]
+}
+
 // Len returns the number of queued items.
 func (q *Queue) Len() int { return len(q.urgent) + len(q.normal) }
 

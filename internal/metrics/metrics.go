@@ -58,14 +58,15 @@ func (c Category) String() string {
 	}
 }
 
-// Categories lists all waste categories in order.
-func Categories() []Category {
-	out := make([]Category, numCategories)
-	for i := range out {
-		out[i] = Category(i)
-	}
-	return out
+// categories is the fixed category list backing Categories.
+var categories = [numCategories]Category{
+	CatCheckpoint, CatWait, CatDilation, CatRecovery, CatLostWork, CatAbortedIO,
 }
+
+// Categories lists all waste categories in order. The returned slice is a
+// view of a package-level array shared by every caller — read-only; callers
+// that need to mutate must copy it.
+func Categories() []Category { return categories[:] }
 
 // Ledger accumulates classified node-seconds over a measurement window.
 type Ledger struct {
@@ -78,10 +79,20 @@ type Ledger struct {
 // NewLedger returns a ledger measuring over [w0, w1]. It panics if the
 // window is empty or reversed.
 func NewLedger(w0, w1 float64) *Ledger {
+	l := &Ledger{}
+	l.Reset(w0, w1)
+	return l
+}
+
+// Reset re-initialises the ledger in place for a new measurement over
+// [w0, w1], zeroing every accumulator — equivalent to NewLedger without the
+// allocation, for reuse across simulation replicates. The same window
+// validation panic applies.
+func (l *Ledger) Reset(w0, w1 float64) {
 	if !(w1 > w0) || math.IsNaN(w0) || math.IsNaN(w1) {
 		panic(fmt.Sprintf("metrics: invalid window [%v, %v]", w0, w1))
 	}
-	return &Ledger{w0: w0, w1: w1}
+	*l = Ledger{w0: w0, w1: w1}
 }
 
 // Window returns the measurement bounds.

@@ -108,6 +108,9 @@ type NodeMap struct {
 	owner []int32           // node -> job id, NoOwner if free
 	free  []int32           // stack of free node indices
 	held  map[int32][]int32 // job id -> nodes held
+	// spare recycles released held-slices so steady-state Allocate calls
+	// stay allocation-free.
+	spare [][]int32
 }
 
 // NewNodeMap returns a map for n nodes, all free.
@@ -117,12 +120,26 @@ func NewNodeMap(n int) *NodeMap {
 		free:  make([]int32, n),
 		held:  make(map[int32][]int32),
 	}
+	m.Reset()
+	return m
+}
+
+// Reset frees every node, restoring the exact initial state of NewNodeMap
+// (including the free-stack pop order) while retaining the map and the
+// recycled held-slices. A reset map allocates nodes in the same order as a
+// fresh one — required for bit-identical simulation replicates.
+func (m *NodeMap) Reset() {
+	n := len(m.owner)
+	m.free = m.free[:n]
 	for i := range m.owner {
 		m.owner[i] = NoOwner
 		// Pop order is descending index; any deterministic order works.
 		m.free[i] = int32(n - 1 - i)
 	}
-	return m
+	for job, nodes := range m.held {
+		m.spare = append(m.spare, nodes)
+		delete(m.held, job)
+	}
 }
 
 // Free returns the number of unallocated nodes.
@@ -146,13 +163,30 @@ func (m *NodeMap) Allocate(job int32, q int) bool {
 	}
 	take := m.free[len(m.free)-q:]
 	m.free = m.free[:len(m.free)-q]
-	nodes := make([]int32, q)
+	nodes := m.getSlice(q)
 	copy(nodes, take)
 	for _, n := range nodes {
 		m.owner[n] = job
 	}
 	m.held[job] = nodes
 	return true
+}
+
+// getSlice pops a recycled held-slice with capacity >= q, or allocates one.
+// Workloads draw from a handful of class sizes, so the spare stack almost
+// always has a fit.
+func (m *NodeMap) getSlice(q int) []int32 {
+	for i := len(m.spare) - 1; i >= 0; i-- {
+		if cap(m.spare[i]) >= q {
+			s := m.spare[i][:q]
+			last := len(m.spare) - 1
+			m.spare[i] = m.spare[last]
+			m.spare[last] = nil
+			m.spare = m.spare[:last]
+			return s
+		}
+	}
+	return make([]int32, q)
 }
 
 // Release frees all nodes held by the job.
@@ -166,6 +200,7 @@ func (m *NodeMap) Release(job int32) error {
 	}
 	m.free = append(m.free, nodes...)
 	delete(m.held, job)
+	m.spare = append(m.spare, nodes)
 	return nil
 }
 

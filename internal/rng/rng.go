@@ -36,6 +36,15 @@ func splitmix64(x *uint64) uint64 {
 // give independent, well-mixed states even for small or sequential values.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initialises the generator in place to the exact state New(seed)
+// would produce, including clearing the cached Normal spare. It lets
+// long-lived simulation arenas re-derive their streams per replicate
+// without allocating.
+func (r *RNG) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
@@ -45,16 +54,24 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.spare, r.hasSpare = 0, false
 }
 
 // NewStream returns a generator for logical sub-stream id of the given
 // master seed. Streams with different ids are statistically independent.
 func NewStream(seed, id uint64) *RNG {
+	r := &RNG{}
+	r.ReseedStream(seed, id)
+	return r
+}
+
+// ReseedStream re-initialises the generator in place to the exact state
+// NewStream(seed, id) would produce.
+func (r *RNG) ReseedStream(seed, id uint64) {
 	x := seed
 	base := splitmix64(&x)
 	y := base ^ (id * 0xd1342543de82ef95)
-	return New(splitmix64(&y))
+	r.Reseed(splitmix64(&y))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -118,6 +118,24 @@ func (e *Engine) Pending() int { return e.heap.len() }
 // number currently idle on the free list.
 func (e *Engine) PoolStats() (allocated, free int) { return e.allocated, e.freeN }
 
+// Reset returns the engine to the pristine clock-zero state while retaining
+// the event pool and heap capacity, so a reused engine schedules its next
+// simulation without allocating. Still-scheduled events are recycled as if
+// cancelled; stale handles held by callers become no-ops (Cancel on a
+// non-scheduled event does nothing) and must be dropped, exactly as after a
+// fire. The sequence counter restarts at 0, so a reset engine orders
+// same-instant events identically to a fresh one — the property the
+// bit-identical Monte-Carlo replicates of package engine rely on.
+func (e *Engine) Reset() {
+	for i, ev := range e.heap.ev {
+		e.heap.ev[i] = nil
+		ev.state = stateCancelled
+		e.put(ev)
+	}
+	e.heap.ev = e.heap.ev[:0]
+	e.now, e.seq, e.executed = 0, 0, 0
+}
+
 // get pops a recycled event or refills the pool with a fresh block.
 func (e *Engine) get() *Event {
 	if e.free == nil {

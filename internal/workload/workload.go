@@ -239,6 +239,15 @@ func DefaultGenConfig() GenConfig {
 // ShareTol of its target. The returned list is shuffled; list order is
 // priority order (FCFS arrival order).
 func Generate(r *rng.RNG, p platform.Platform, params []ClassParams, cfg GenConfig) ([]Job, error) {
+	return GenerateInto(r, p, params, cfg, nil)
+}
+
+// GenerateInto is Generate writing into buf, which is overwritten from
+// index 0 and grown as needed; the returned slice shares buf's backing
+// array when it fits. Reusing one buffer across Monte-Carlo replicates
+// makes steady-state generation allocation-free; the drawn list is
+// bit-identical to Generate's for the same generator state.
+func GenerateInto(r *rng.RNG, p platform.Platform, params []ClassParams, cfg GenConfig, buf []Job) ([]Job, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,7 +271,7 @@ func Generate(r *rng.RNG, p platform.Platform, params []ClassParams, cfg GenConf
 	target := float64(p.Nodes) * units.Days(cfg.MinDays) * cfg.Buffer
 	alloc := make([]float64, len(params))
 	total := 0.0
-	var jobs []Job
+	jobs := buf[:0]
 
 	duration := func(cp ClassParams) float64 {
 		w := cp.WorkSeconds

@@ -71,6 +71,17 @@ type (
 	// MCOptions selects what a Monte-Carlo experiment materialises; the
 	// zero value is the fully streaming O(1)-memory path.
 	MCOptions = engine.MCOptions
+	// Arena is a reusable simulation workspace: built once, re-seeded per
+	// replicate, so steady-state Monte-Carlo replicates allocate near
+	// zero. Replicates are bit-identical to fresh Run calls.
+	Arena = engine.Arena
+	// SweepGrid spans a scenario grid (bandwidth × MTBF × failure model ×
+	// strategy) over a base configuration.
+	SweepGrid = engine.SweepGrid
+	// SweepPoint is one resolved cell of a sweep grid.
+	SweepPoint = engine.SweepPoint
+	// FailureSpec is one point of a sweep's failure-model axis.
+	FailureSpec = engine.FailureSpec
 	// Summary is the candlestick statistic set (mean, deciles,
 	// quartiles).
 	Summary = stats.Summary
@@ -178,8 +189,22 @@ func AllStrategies() []Strategy { return engine.AllStrategies() }
 // StrategyByName resolves a label like "Ordered-NB-Daly".
 func StrategyByName(name string) (Strategy, bool) { return engine.StrategyByName(name) }
 
-// Run executes one simulation.
+// Run executes one simulation (a single-use Arena under the hood; hold a
+// NewArena when replicating the same scenario many times).
 func Run(cfg Config) (Result, error) { return engine.Run(cfg) }
+
+// NewArena builds a reusable simulation workspace for the configuration.
+// Arena.Run(seed) executes one replicate reusing every pool, and
+// Arena.Reconfigure swaps the scenario while keeping them. Not safe for
+// concurrent use; the Monte-Carlo drivers hold one arena per worker.
+func NewArena(cfg Config) (*Arena, error) { return engine.NewArena(cfg) }
+
+// Sweep runs the same Monte-Carlo experiment at every point of a scenario
+// grid, streaming per-point results to fn in grid order; one set of
+// per-worker arenas is reused across the whole grid.
+func Sweep(base Config, grid SweepGrid, runs, workers int, opts MCOptions, fn func(SweepPoint, MCResult)) error {
+	return engine.Sweep(base, grid, runs, workers, opts, fn)
+}
 
 // MonteCarlo replicates a configuration over `runs` independent seeds
 // using up to `workers` goroutines (0 = GOMAXPROCS) and summarises the
