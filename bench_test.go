@@ -63,7 +63,7 @@ func BenchmarkFigure1WasteVsBandwidth(b *testing.B) {
 		b.Run(fmt.Sprintf("bw=%vGBps", bw), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				base := benchConfig(repro.Cielo(bw, 2), repro.Strategy{})
-				if _, err := repro.CompareStrategiesOpts(base, repro.AllStrategies(), benchRuns, 0,
+				if _, err := repro.CompareStrategiesOpts(base, repro.LegendStrategies(), benchRuns, 0,
 					repro.MCOptions{KeepWasteRatios: true}); err != nil {
 					b.Fatal(err)
 				}
@@ -79,7 +79,7 @@ func BenchmarkFigure2WasteVsMTBF(b *testing.B) {
 		b.Run(fmt.Sprintf("mtbf=%vy", years), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				base := benchConfig(repro.Cielo(40, years), repro.Strategy{})
-				if _, err := repro.CompareStrategiesOpts(base, repro.AllStrategies(), benchRuns, 0,
+				if _, err := repro.CompareStrategiesOpts(base, repro.LegendStrategies(), benchRuns, 0,
 					repro.MCOptions{KeepWasteRatios: true}); err != nil {
 					b.Fatal(err)
 				}

@@ -1,7 +1,9 @@
 // Command coopsim runs cooperative-checkpointing simulations from the
-// command line: a single strategy or all seven, on the Cielo or
+// command line: any set of registered strategies on the Cielo or
 // prospective platform, with Monte-Carlo replication and candlestick
-// output.
+// output. Strategies resolve by name from the engine registry (-list
+// prints the table), so disciplines added through engine.RegisterStrategy
+// are sweepable here with no CLI changes.
 //
 // Monte-Carlo replication streams through the engine's O(1)-memory path
 // unless -breakdown needs the per-run details, so -runs scales to paper
@@ -11,6 +13,8 @@
 //
 //	coopsim -bw 40 -mtbf 2 -runs 100                 # all strategies on Cielo
 //	coopsim -strategy Least-Waste -bw 80 -runs 1000  # one strategy
+//	coopsim -strategy Least-Waste,Fair-Share         # paired subset
+//	coopsim -channels 1,2,4 -tsv                     # token-channel sweep
 //	coopsim -platform prospective -bw 2000 -mtbf 15  # future system
 //	coopsim -tsv > results.tsv                       # machine-readable
 //	coopsim -bench-json BENCH.json                   # perf-trajectory record
@@ -35,13 +39,14 @@ func main() {
 		platformName = flag.String("platform", "cielo", "platform: cielo or prospective")
 		bw           = flag.Float64("bw", 40, "aggregated PFS bandwidth in GB/s")
 		mtbf         = flag.Float64("mtbf", 2, "node MTBF in years")
-		strategyName = flag.String("strategy", "all", "strategy name (see -list) or 'all'")
+		strategyName = flag.String("strategy", "all", "comma-separated strategy names (see -list) or 'all'")
+		channels     = flag.String("channels", "1", "comma-separated token-channel counts k to sweep")
 		runs         = flag.Int("runs", 20, "Monte-Carlo replications per strategy")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed         = flag.Uint64("seed", 1, "master random seed")
 		days         = flag.Float64("days", 60, "simulated segment length in days")
 		tsv          = flag.Bool("tsv", false, "emit tab-separated values")
-		list         = flag.Bool("list", false, "list strategy names and exit")
+		list         = flag.Bool("list", false, "list the strategy registry (name, discipline, policy, blocking, device) and exit")
 		theory       = flag.Bool("theory", true, "print the §4 lower bound")
 		breakdown    = flag.Bool("breakdown", false, "print mean waste breakdown by category")
 		sweepBW      = flag.String("sweep-bw", "", "sweep bandwidth lo:hi:step (GB/s); repeats the experiment per point")
@@ -56,9 +61,7 @@ func main() {
 	}
 
 	if *list {
-		for _, s := range repro.AllStrategies() {
-			fmt.Println(s.Name())
-		}
+		printRegistry()
 		return
 	}
 
@@ -79,16 +82,20 @@ func main() {
 	if *strategyName == "all" {
 		strategies = repro.AllStrategies()
 	} else {
-		s, ok := repro.StrategyByName(*strategyName)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "coopsim: unknown strategy %q (try -list)\n", *strategyName)
-			os.Exit(2)
+		for _, name := range strings.Split(*strategyName, ",") {
+			name = strings.TrimSpace(name)
+			s, ok := repro.StrategyByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "coopsim: unknown strategy %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			strategies = append(strategies, s)
 		}
-		strategies = []repro.Strategy{s}
 	}
+	channelCounts := parseChannels(*channels)
 
 	if *tsv {
-		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\t" + tsvHeader())
+		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\tchannels\t" + tsvHeader())
 	}
 
 	// The whole experiment — one point or a -sweep-* series, times the
@@ -101,7 +108,7 @@ func main() {
 		Seed:        *seed,
 		HorizonDays: *days,
 	}
-	grid := repro.SweepGrid{Strategies: strategies}
+	grid := repro.SweepGrid{Strategies: strategies, Channels: channelCounts}
 	switch {
 	case *sweepBW != "":
 		lo, hi, step := parseSweep(*sweepBW)
@@ -126,17 +133,17 @@ func main() {
 		p.BandwidthBps = pt.BandwidthBps
 		p.NodeMTBFSeconds = pt.NodeMTBFSeconds
 		if !*tsv && pt.Index%nStrats == 0 {
-			fmt.Printf("platform=%s bandwidth=%s nodeMTBF=%.1fy systemMTBF=%s runs=%d days=%.0f seed=%d\n",
+			fmt.Printf("platform=%s bandwidth=%s nodeMTBF=%.1fy systemMTBF=%s channels=%d runs=%d days=%.0f seed=%d\n",
 				p.Name, units.FormatBandwidth(p.BandwidthBps), mtbfYears,
-				units.FormatDuration(p.SystemMTBF()), *runs, *days, *seed)
-			fmt.Printf("%-18s %8s %8s %8s %8s %8s %8s\n",
+				units.FormatDuration(p.SystemMTBF()), pt.Channels, *runs, *days, *seed)
+			fmt.Printf("%-20s %8s %8s %8s %8s %8s %8s\n",
 				"strategy", "mean", "p10", "p25", "p75", "p90", "util")
 		}
 		s := mc.Summary
 		if *tsv {
-			fmt.Printf("%s\t%g\t%g\t%s\n", mc.Strategy, bwGBps, mtbfYears, s.TSVRow())
+			fmt.Printf("%s\t%g\t%g\t%d\t%s\n", mc.Strategy, bwGBps, mtbfYears, pt.Channels, s.TSVRow())
 		} else {
-			fmt.Printf("%-18s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f\n",
+			fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f\n",
 				mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.MeanUtilization)
 			if *breakdown {
 				printBreakdown(mc)
@@ -149,10 +156,12 @@ func main() {
 				os.Exit(1)
 			}
 			if *tsv {
-				fmt.Printf("Theoretical-Model\t%g\t%g\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
-					bwGBps, mtbfYears, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
+				// Columns match tsvHeader: n=1, stddev=0, every order
+				// statistic collapses to the deterministic bound.
+				fmt.Printf("Theoretical-Model\t%g\t%g\t%d\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
+					bwGBps, mtbfYears, pt.Channels, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
 			} else {
-				fmt.Printf("%-18s %8.4f   (λ=%.4g, F=%.3f, constrained=%v)\n",
+				fmt.Printf("%-20s %8.4f   (λ=%.4g, F=%.3f, constrained=%v)\n",
 					"Theoretical-Model", sol.Waste, sol.Lambda, sol.IOFraction, sol.Constrained)
 			}
 		}
@@ -161,6 +170,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// printRegistry renders the strategy registry as the table embedded in
+// the README (regenerate it from this output after registering a new
+// strategy).
+func printRegistry() {
+	fmt.Println("name\tdiscipline\tperiod policy\tcheckpoint wait\tdevice")
+	for _, s := range repro.AllStrategies() {
+		d := s.Discipline
+		wait := "blocking"
+		if d.NonBlockingCheckpoints() {
+			wait = "non-blocking"
+		}
+		device := "shared (processor sharing)"
+		if d.UsesToken() {
+			device = "token (k channels)"
+		}
+		fmt.Printf("%s\t%s\t%s\t%s\t%s\n", s.Name(), d.Name(), s.Policy.Label(), wait, device)
+	}
+}
+
+// parseChannels parses a comma-separated list of positive channel counts.
+func parseChannels(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			fmt.Fprintf(os.Stderr, "coopsim: -channels %q: bad count %q\n", s, part)
+			os.Exit(2)
+		}
+		out = append(out, k)
+	}
+	return out
 }
 
 // parseSweep parses "lo:hi:step" with positive components.
@@ -220,20 +263,46 @@ func runBenchJSON(path string) {
 
 	// Monte-Carlo replicate throughput, single worker: reused arena vs
 	// fresh build per replicate.
-	arenaRes := testing.Benchmark(func(b *testing.B) {
-		arena, err := repro.NewArena(cfg)
+	arenaBench := func(k int) testing.BenchmarkResult {
+		c := cfg
+		c.Channels = k
+		arena, err := repro.NewArena(c)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
 			os.Exit(1)
 		}
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
+		// Warm the pools across a seed spread so the record reports the
+		// steady-state replicate cost, not first-run pool growth.
+		for i := 0; i < 8; i++ {
 			if _, err := arena.Run(uint64(i)); err != nil {
 				fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
 				os.Exit(1)
 			}
 		}
-	})
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := arena.Run(uint64(i)); err != nil {
+					fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		})
+	}
+	arenaRes := arenaBench(1)
+	// Per-channel-count replicate throughput: how the token-device hot
+	// path scales with the k axis the sweeps now expose (k=1 reuses the
+	// measurement above).
+	channelRecord := func(r testing.BenchmarkResult) map[string]any {
+		return map[string]any{
+			"replicates_per_sec": 1e9 / float64(r.NsPerOp()),
+			"allocs_per_op":      r.AllocsPerOp(),
+		}
+	}
+	perChannel := map[string]any{"1": channelRecord(arenaRes)}
+	for _, k := range []int{2, 4} {
+		perChannel[strconv.Itoa(k)] = channelRecord(arenaBench(k))
+	}
 	freshRes := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -261,6 +330,7 @@ func runBenchJSON(path string) {
 			"fresh_replicates_per_sec": 1e9 / float64(freshRes.NsPerOp()),
 			"fresh_allocs_per_op":      freshRes.AllocsPerOp(),
 			"fresh_bytes_per_op":       freshRes.AllocedBytesPerOp(),
+			"arena_by_channels":        perChannel,
 		},
 	}
 	out, err := json.MarshalIndent(record, "", "  ")
@@ -285,7 +355,7 @@ func printBreakdown(mc repro.MCResult) {
 	agg := map[string]float64{}
 	var total float64
 	for _, r := range mc.Results {
-		for cat, v := range r.WasteByCategory {
+		for cat, v := range r.WasteByCategory() {
 			agg[cat] += v
 			total += v
 		}

@@ -24,12 +24,13 @@ import (
 )
 
 type options struct {
-	runs    int
-	workers int
-	seed    uint64
-	days    float64
-	quick   bool
-	tsv     bool
+	runs     int
+	workers  int
+	seed     uint64
+	days     float64
+	channels int
+	quick    bool
+	tsv      bool
 }
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	flag.IntVar(&opts.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Uint64Var(&opts.seed, "seed", 1, "master random seed")
 	flag.Float64Var(&opts.days, "days", 60, "simulated segment length in days")
+	flag.IntVar(&opts.channels, "channels", 1, "token-channel count k (paper: 1)")
 	flag.BoolVar(&opts.quick, "quick", false, "reduced sweeps and runs (smoke test)")
 	flag.BoolVar(&opts.tsv, "tsv", false, "emit tab-separated values")
 	flag.Parse()
@@ -181,8 +183,9 @@ func fig1(opts options) {
 		Classes:     repro.APEXClasses(),
 		Seed:        opts.seed,
 		HorizonDays: opts.days,
+		Channels:    opts.channels,
 	}
-	grid := repro.SweepGrid{Strategies: repro.AllStrategies()}
+	grid := repro.SweepGrid{Strategies: repro.LegendStrategies()}
 	for _, bw := range bws {
 		grid.BandwidthsBps = append(grid.BandwidthsBps, units.GBps(bw))
 	}
@@ -204,8 +207,9 @@ func fig2(opts options) {
 		Classes:     repro.APEXClasses(),
 		Seed:        opts.seed,
 		HorizonDays: opts.days,
+		Channels:    opts.channels,
 	}
-	grid := repro.SweepGrid{Strategies: repro.AllStrategies()}
+	grid := repro.SweepGrid{Strategies: repro.LegendStrategies()}
 	for _, y := range years {
 		grid.NodeMTBFSeconds = append(grid.NodeMTBFSeconds, units.Years(y))
 	}
@@ -236,13 +240,14 @@ func fig3(opts options) {
 	loBps, hiBps := units.GBps(50), units.TBps(400)
 	start := time.Now()
 	for _, y := range years {
-		for _, strat := range repro.AllStrategies() {
+		for _, strat := range repro.LegendStrategies() {
 			cfg := repro.Config{
 				Platform:    repro.Prospective(1000, y),
 				Classes:     repro.APEXClasses(),
 				Strategy:    strat,
 				Seed:        opts.seed,
 				HorizonDays: opts.days,
+				Channels:    opts.channels,
 			}
 			bw, err := repro.MinBandwidthForEfficiency(cfg, 0.8, loBps, hiBps, runs, opts.workers, steps)
 			if err != nil {

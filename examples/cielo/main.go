@@ -48,7 +48,7 @@ func breakdown(mc repro.MCResult) string {
 	agg := map[string]float64{}
 	total := 0.0
 	for _, r := range mc.Results {
-		for cat, v := range r.WasteByCategory {
+		for cat, v := range r.WasteByCategory() {
 			agg[cat] += v
 			total += v
 		}

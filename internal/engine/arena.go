@@ -32,9 +32,15 @@ type Arena struct {
 	// classPeriods is the burst-buffer cooperative period solution (nil
 	// unless that model is active): seed-independent, cached per scenario.
 	classPeriods []float64
+	// stratName caches cfg.Strategy.Name() so replicates never rebuild
+	// the label (the composition allocates).
+	stratName string
 
-	eng     *sim.Engine
-	device  iomodel.Device
+	eng    *sim.Engine
+	device iomodel.Device
+	// sel is the token device's selector (nil on shared devices), kept so
+	// stateful selectors can be reset per replicate.
+	sel     iomodel.Selector
 	genRNG  rng.RNG
 	failRNG rng.RNG
 	failSrc failure.Source
@@ -80,27 +86,33 @@ func (a *Arena) Reconfigure(cfg Config) error {
 	a.cfg = cfg
 	a.params = params
 	a.classPeriods = periods
+	a.stratName = cfg.Strategy.Name()
 	a.baseline = nil
 
+	// The device is dictated by the arbiter's capabilities, not by an
+	// engine-side discipline switch: shared processor sharing for
+	// non-token disciplines, a k-channel token device otherwise, with the
+	// grant order instantiated by the arbiter for this scenario.
 	bw := cfg.Platform.BandwidthBps
+	arb := cfg.Strategy.Discipline
+	a.sel = nil
 	switch {
 	case cfg.BaselineIO:
 		a.device = iomodel.NewSharedDevice(a.eng, bw, iomodel.Unlimited{})
-	case cfg.Strategy.Discipline == iosched.Oblivious:
+	case !arb.UsesToken():
 		a.device = iomodel.NewSharedDevice(a.eng, bw, cfg.Interference)
-	case cfg.Strategy.Discipline == iosched.LeastWaste:
-		// Equation (2) already arbitrates drains: a drain candidate's
-		// growing failure exposure eventually outweighs foreground
-		// requests, so no special background class is needed.
-		sel := iosched.NewLeastWasteSelector(cfg.Platform.NodeMTBFSeconds, bw)
-		a.device = iomodel.NewTokenDevice(a.eng, bw, sel)
-	case cfg.BurstBuffer != nil:
-		// FCFS with burst-buffer drains demoted to a background class
-		// (drain-when-idle), or long drains would head-of-line-block
-		// job input/output behind the token.
-		a.device = iomodel.NewTokenDevice(a.eng, bw, iomodel.FCFSBackground{})
 	default:
-		a.device = iomodel.NewTokenDevice(a.eng, bw, iomodel.FCFS{})
+		sel := arb.NewSelector(iosched.Scenario{
+			MuIndSeconds: cfg.Platform.NodeMTBFSeconds,
+			BandwidthBps: bw,
+			Classes:      len(params),
+			Background:   cfg.BurstBuffer != nil,
+		})
+		if sel == nil {
+			return fmt.Errorf("engine: discipline %s uses a token but built no selector", arb.Name())
+		}
+		a.sel = sel
+		a.device = iomodel.NewTokenDeviceK(a.eng, bw, sel, cfg.Channels)
 	}
 
 	if a.s.nodes == nil || a.s.nodes.Total() != cfg.Platform.Nodes {
@@ -151,6 +163,12 @@ func (a *Arena) replicate(seed uint64) (Result, error) {
 	// the device reset may simply drop its stale wake handle.
 	a.eng.Reset()
 	a.device.Reset()
+	if ss, ok := a.sel.(iomodel.StatefulSelector); ok {
+		// Stateful grant orders (randomness, served-share accounting)
+		// restart from the replicate seed, keeping arena reuse
+		// bit-identical to a fresh build of the same seed.
+		ss.ResetSelector(seed)
+	}
 	a.pool.reset()
 
 	a.genRNG.ReseedStream(seed, 1)
@@ -185,7 +203,7 @@ func (a *Arena) replicate(seed uint64) (Result, error) {
 	s.horizon = units.Days(a.cfg.HorizonDays)
 	s.bw = a.cfg.Platform.BandwidthBps
 	s.muInd = a.cfg.Platform.NodeMTBFSeconds
-	s.res = Result{Strategy: a.cfg.Strategy.Name(), JobsGenerated: len(jobs)}
+	s.res = Result{Strategy: a.stratName, JobsGenerated: len(jobs)}
 	s.classPeriods = a.classPeriods
 	s.failNode = 0
 	s.failArm.s = s

@@ -9,18 +9,31 @@ import (
 )
 
 // arenaConfigs returns the configurations the reuse invariant is pinned
-// on: all four I/O disciplines plus a burst-buffer setup.
+// on: every registered strategy (the paper's four disciplines plus the
+// registry extensions — Random's reseeded selector and Fair-Share's
+// served-time accounting are exactly the state a leaky reset would
+// corrupt), a burst-buffer setup, and a multi-channel token device.
 func arenaConfigs() map[string]Config {
 	bb := tinyConfig(OrderedDaly(), 0)
 	bbCfg := burstbuffer.Default()
 	bb.BurstBuffer = &bbCfg
-	return map[string]Config{
-		"oblivious":    tinyConfig(ObliviousDaly(), 0),
-		"ordered":      tinyConfig(OrderedDaly(), 0),
-		"ordered-nb":   tinyConfig(OrderedNBDaly(), 0),
-		"least-waste":  tinyConfig(LeastWaste(), 0),
-		"burst-buffer": bb,
+	k2 := tinyConfig(LeastWaste(), 0)
+	k2.Channels = 2
+	// Random + burst buffer routes the stateful selector through the
+	// Background wrapper; a reset that failed to forward would leak
+	// random state across replicates and break bit-identity here.
+	bbRandom := tinyConfig(RandomDaly(), 0)
+	bbRandomCfg := burstbuffer.Default()
+	bbRandom.BurstBuffer = &bbRandomCfg
+	cfgs := map[string]Config{
+		"burst-buffer":        bb,
+		"burst-buffer-random": bbRandom,
+		"least-waste-k2":      k2,
 	}
+	for _, strat := range AllStrategies() {
+		cfgs[strat.Name()] = tinyConfig(strat, 0)
+	}
+	return cfgs
 }
 
 // TestArenaBitIdentity pins the arena reuse invariant: a replicate run in
@@ -171,6 +184,54 @@ func TestSweepMatchesPointwiseMonteCarlo(t *testing.T) {
 			t.Fatalf("point %d (%s @ %v B/s) diverged:\n sweep %+v\n fresh %+v",
 				i, pt.Strategy.Name(), pt.BandwidthBps, got[i], want)
 		}
+	}
+}
+
+// TestSweepChannelAxis: the channel-count axis enumerates between the
+// failure and strategy axes, each point runs with its k applied, and every
+// point's result is bit-identical to an independent evaluation of that
+// configuration.
+func TestSweepChannelAxis(t *testing.T) {
+	base := tinyConfig(OrderedNBDaly(), 43)
+	grid := SweepGrid{
+		Channels:   []int{1, 2},
+		Strategies: []Strategy{OrderedNBDaly(), LeastWaste()},
+	}
+	const runs = 2
+	var pts []SweepPoint
+	var got []MCResult
+	err := Sweep(base, grid, runs, 2, MCOptions{KeepWasteRatios: true},
+		func(pt SweepPoint, mc MCResult) {
+			pts = append(pts, pt)
+			got = append(got, mc)
+		})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("sweep delivered %d points, want 4", len(pts))
+	}
+	wantK := []int{1, 1, 2, 2} // channels outer, strategy inner
+	for i, pt := range pts {
+		if pt.Channels != wantK[i] {
+			t.Fatalf("point %d has Channels %d, want %d", i, pt.Channels, wantK[i])
+		}
+		cfg := base
+		cfg.Channels = pt.Channels
+		cfg.Strategy = pt.Strategy
+		want, err := MonteCarloOpts(cfg, runs, 2, MCOptions{KeepWasteRatios: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("point %d (%s, k=%d) diverged from pointwise evaluation",
+				i, pt.Strategy.Name(), pt.Channels)
+		}
+	}
+	// More channels cannot hurt a token discipline on this workload: the
+	// k=2 Ordered-NB mean waste is at most the k=1 mean plus noise slack.
+	if got[2].Summary.Mean > got[0].Summary.Mean+0.05 {
+		t.Errorf("k=2 mean waste %.4f well above k=1 %.4f", got[2].Summary.Mean, got[0].Summary.Mean)
 	}
 }
 

@@ -117,6 +117,7 @@ func (s *simulation) submitDrain(j *jobRun) {
 		Kind:            iomodel.Drain,
 		Volume:          j.spec.class.CkptBytes,
 		Nodes:           j.q(),
+		Class:           j.spec.class.Index,
 		LastCkptEnd:     j.lastDurable,
 		RecoverySeconds: j.spec.class.RecoverySeconds(s.bw),
 		Sink:            j,

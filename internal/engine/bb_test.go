@@ -204,7 +204,7 @@ func TestDrainDurabilitySemantics(t *testing.T) {
 			cfg := bbConfig(OrderedNBDaly(), seed, &bb)
 			cfg.Platform = tinyPlatform(0.05, 0.5) // starved PFS, frequent failures
 			res := mustRun(t, cfg)
-			sum += res.WasteByCategory["lost-work"]
+			sum += res.WasteByCategory()["lost-work"]
 		}
 		return sum / n
 	}

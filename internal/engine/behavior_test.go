@@ -198,7 +198,7 @@ func TestCheckpointsBoundLostWork(t *testing.T) {
 		cfg.Platform = tinyPlatform(0.5, 0.2) // frequent failures
 		cfg.DisableCheckpoints = disable
 		res := mustRun(t, cfg)
-		return res.WasteByCategory["lost-work"]
+		return res.WasteByCategory()["lost-work"]
 	}
 	with := lost(false)
 	without := lost(true)

@@ -6,6 +6,8 @@ import (
 	"repro/internal/burstbuffer"
 	"repro/internal/failure"
 	"repro/internal/iomodel"
+	"repro/internal/iosched"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -38,6 +40,11 @@ type Config struct {
 	// Oblivious discipline (default iomodel.LinearShare). Ignored by the
 	// token disciplines.
 	Interference iomodel.InterferenceModel
+	// Channels is the number of concurrent token channels k of the I/O
+	// device — a partitioned checkpoint store with k parallel write
+	// lanes, each at the aggregated bandwidth. Zero selects the paper's
+	// single token. Ignored by shared-device (non-token) disciplines.
+	Channels int
 	// FailureModel selects the failure inter-arrival law (default
 	// exponential); WeibullShape applies when the model is Weibull.
 	FailureModel failure.Model
@@ -77,6 +84,12 @@ type TraceEvent struct {
 
 // withDefaults returns a copy with defaults resolved.
 func (c Config) withDefaults() Config {
+	if c.Strategy.Discipline == nil {
+		c.Strategy.Discipline = iosched.Oblivious
+	}
+	if c.Channels == 0 {
+		c.Channels = 1
+	}
 	if c.HorizonDays == 0 {
 		c.HorizonDays = 60
 	}
@@ -116,6 +129,9 @@ func (c Config) validate() error {
 	if c.FailureModel == failure.Weibull && c.WeibullShape <= 0 {
 		return fmt.Errorf("engine: Weibull failure model requires a positive shape")
 	}
+	if c.Channels < 1 {
+		return fmt.Errorf("engine: non-positive channel count %d", c.Channels)
+	}
 	if c.BurstBuffer != nil {
 		if err := c.BurstBuffer.Validate(); err != nil {
 			return err
@@ -138,8 +154,11 @@ type Result struct {
 	// UsefulNodeSeconds and WasteNodeSeconds decompose the window.
 	UsefulNodeSeconds float64
 	WasteNodeSeconds  float64
-	// WasteByCategory breaks waste down by metrics category name.
-	WasteByCategory map[string]float64
+	// WasteVec breaks waste down by category, indexed by
+	// metrics.Category. A fixed array filled in place, so arena
+	// replicates stay allocation-free; use WasteByCategory for a
+	// name-keyed view.
+	WasteVec [metrics.NumCategories]float64
 	// Utilization is allocated node-time over window capacity.
 	Utilization float64
 
@@ -156,6 +175,17 @@ type Result struct {
 
 	// SimulatedSeconds is the horizon actually executed.
 	SimulatedSeconds float64
+}
+
+// WasteByCategory returns the waste breakdown keyed by category name. The
+// map is built on every call — a convenience for JSON/CLI output only;
+// hot paths should index WasteVec by metrics.Category directly.
+func (r Result) WasteByCategory() map[string]float64 {
+	out := make(map[string]float64, len(r.WasteVec))
+	for i, v := range r.WasteVec {
+		out[metrics.Category(i).String()] = v
+	}
+	return out
 }
 
 // window returns the measurement bounds in seconds.

@@ -62,19 +62,29 @@ func mustRun(t *testing.T, cfg Config) Result {
 }
 
 func TestStrategyNames(t *testing.T) {
+	// The paper's seven legend variants lead the registry, extensions
+	// follow in registration order.
 	want := []string{
 		"Oblivious-Fixed", "Oblivious-Daly",
 		"Ordered-Fixed", "Ordered-Daly",
 		"Ordered-NB-Fixed", "Ordered-NB-Daly",
 		"Least-Waste",
+		"Shortest-First-Daly", "Random-Daly", "Fair-Share",
 	}
 	all := AllStrategies()
 	if len(all) != len(want) {
-		t.Fatalf("AllStrategies() returned %d strategies", len(all))
+		t.Fatalf("AllStrategies() returned %d strategies, want %d", len(all), len(want))
+	}
+	names := StrategyNames()
+	if len(names) != len(want) {
+		t.Fatalf("StrategyNames() returned %d names, want %d", len(names), len(want))
 	}
 	for i, s := range all {
 		if s.Name() != want[i] {
 			t.Errorf("strategy %d name %q, want %q", i, s.Name(), want[i])
+		}
+		if names[i] != want[i] {
+			t.Errorf("StrategyNames()[%d] = %q, want %q", i, names[i], want[i])
 		}
 		got, ok := StrategyByName(want[i])
 		if !ok || got.Name() != want[i] {
@@ -84,6 +94,33 @@ func TestStrategyNames(t *testing.T) {
 	if _, ok := StrategyByName("nope"); ok {
 		t.Error("StrategyByName accepted an unknown name")
 	}
+	legend := LegendStrategies()
+	if len(legend) != 7 {
+		t.Fatalf("LegendStrategies() returned %d strategies, want 7", len(legend))
+	}
+	for i, s := range legend {
+		if s.Name() != want[i] {
+			t.Errorf("legend strategy %d is %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}
+
+// The registry rejects duplicate names, empty names, and constructors
+// whose strategy names itself differently.
+func TestRegisterStrategyValidation(t *testing.T) {
+	mustPanic := func(why string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("RegisterStrategy accepted %s", why)
+			}
+		}()
+		f()
+	}
+	mustPanic("a duplicate name", func() { RegisterStrategy("Least-Waste", LeastWaste) })
+	mustPanic("an empty name", func() { RegisterStrategy("", LeastWaste) })
+	mustPanic("a nil constructor", func() { RegisterStrategy("X", nil) })
+	mustPanic("a mismatched name", func() { RegisterStrategy("Not-Least-Waste", LeastWaste) })
 }
 
 func TestAllStrategiesRunEndToEnd(t *testing.T) {
@@ -148,7 +185,7 @@ func TestBaselineRunHasZeroWaste(t *testing.T) {
 	cfg.BaselineIO = true
 	res := mustRun(t, cfg)
 	if res.WasteRatio != 0 {
-		t.Fatalf("baseline waste ratio = %v, want 0 (breakdown %v)", res.WasteRatio, res.WasteByCategory)
+		t.Fatalf("baseline waste ratio = %v, want 0 (breakdown %v)", res.WasteRatio, res.WasteByCategory())
 	}
 	if res.UsefulNodeSeconds == 0 {
 		t.Fatal("baseline did no useful work")
@@ -166,11 +203,11 @@ func TestNoFailureWasteIsPureCR(t *testing.T) {
 		cfg.DisableFailures = true
 		res := mustRun(t, cfg)
 		for _, cat := range []string{"recovery", "lost-work", "aborted-io"} {
-			if res.WasteByCategory[cat] != 0 {
-				t.Errorf("%s: failure-free run has %s waste %v", strat.Name(), cat, res.WasteByCategory[cat])
+			if res.WasteByCategory()[cat] != 0 {
+				t.Errorf("%s: failure-free run has %s waste %v", strat.Name(), cat, res.WasteByCategory()[cat])
 			}
 		}
-		if res.WasteByCategory["checkpoint"] == 0 {
+		if res.WasteByCategory()["checkpoint"] == 0 {
 			t.Errorf("%s: failure-free run has no checkpoint waste", strat.Name())
 		}
 		if res.JobsFailed != 0 {
@@ -185,13 +222,13 @@ func TestNoCheckpointWasteIsLostWork(t *testing.T) {
 	cfg := tinyConfig(OrderedDaly(), 13)
 	cfg.DisableCheckpoints = true
 	res := mustRun(t, cfg)
-	if res.Checkpoints != 0 || res.WasteByCategory["checkpoint"] != 0 {
+	if res.Checkpoints != 0 || res.WasteByCategory()["checkpoint"] != 0 {
 		t.Fatalf("checkpoint-free run checkpointed: %+v", res)
 	}
-	if res.WasteByCategory["recovery"] != 0 {
-		t.Fatalf("checkpoint-free run recovered: %v", res.WasteByCategory["recovery"])
+	if res.WasteByCategory()["recovery"] != 0 {
+		t.Fatalf("checkpoint-free run recovered: %v", res.WasteByCategory()["recovery"])
 	}
-	if res.Failures > 0 && res.WasteByCategory["lost-work"] == 0 {
+	if res.Failures > 0 && res.WasteByCategory()["lost-work"] == 0 {
 		t.Fatal("failures occurred but no lost work recorded")
 	}
 }

@@ -208,7 +208,7 @@ func (j *jobRun) newTransfer(kind iomodel.Kind, volume float64) *iomodel.Transfe
 	if t.InFlight() {
 		panic("engine: recycling a transfer still in flight (missing Abort)")
 	}
-	*t = iomodel.Transfer{Kind: kind, Volume: volume, Nodes: j.q(), Sink: j}
+	*t = iomodel.Transfer{Kind: kind, Volume: volume, Nodes: j.q(), Class: j.spec.class.Index, Sink: j}
 	j.transfer = t
 	return t
 }

@@ -566,10 +566,8 @@ func (s *simulation) finalize() Result {
 	s.res.UsefulNodeSeconds = s.ledger.Useful()
 	s.res.WasteNodeSeconds = s.ledger.Waste()
 	s.res.Utilization = s.ledger.Utilization(s.cfg.Platform.Nodes)
-	cats := metrics.Categories()
-	s.res.WasteByCategory = make(map[string]float64, len(cats))
-	for _, cat := range cats {
-		s.res.WasteByCategory[cat.String()] = s.ledger.WasteIn(cat)
+	for _, cat := range metrics.Categories() {
+		s.res.WasteVec[cat] = s.ledger.WasteIn(cat)
 	}
 	s.res.Events = s.eng.Executed()
 	s.res.SimulatedSeconds = s.horizon

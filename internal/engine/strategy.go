@@ -1,32 +1,33 @@
 // Package engine assembles the full discrete-event simulation of the
 // paper (§5): workload generation, online first-fit job scheduling,
-// failure injection, the I/O subsystem under one of the four scheduling
-// disciplines, checkpoint policies, and waste accounting over a
+// failure injection, the I/O subsystem under a pluggable arbitration
+// discipline, checkpoint policies, and waste accounting over a
 // measurement segment. Monte-Carlo replication with candlestick summaries
 // reproduces the figures of §6.
 package engine
 
 import (
-	"fmt"
-
 	"repro/internal/ckpt"
 	"repro/internal/iosched"
 )
 
-// Strategy pairs an I/O scheduling discipline with a checkpoint-period
-// policy: the seven variants evaluated in §6.
+// Strategy pairs an I/O-arbitration discipline with a checkpoint-period
+// policy. The seven variants evaluated in §6 plus the registry extensions
+// are pre-registered; see RegisterStrategy for adding more.
 type Strategy struct {
 	Discipline iosched.Discipline
 	Policy     ckpt.Policy
 }
 
-// Name returns the paper's label for the strategy, e.g. "Oblivious-Daly"
-// or "Least-Waste".
+// Name returns the strategy's display label, e.g. "Oblivious-Daly" or
+// "Least-Waste" — the discipline decides how (or whether) the policy
+// label is appended. A zero Strategy names the Oblivious default.
 func (s Strategy) Name() string {
-	if s.Discipline == iosched.LeastWaste {
-		return "Least-Waste"
+	d := s.Discipline
+	if d == nil {
+		d = iosched.Oblivious
 	}
-	return fmt.Sprintf("%s-%s", s.Discipline, s.Policy.Label())
+	return d.StrategyLabel(s.Policy.Label())
 }
 
 // The seven strategy variants of the evaluation (§3.4, §6). Least-Waste
@@ -66,23 +67,37 @@ func LeastWaste() Strategy {
 	return Strategy{Discipline: iosched.LeastWaste, Policy: ckpt.DalyPolicy()}
 }
 
-// AllStrategies returns the seven variants in the paper's legend order.
-func AllStrategies() []Strategy {
-	return []Strategy{
-		ObliviousFixed(), ObliviousDaly(),
-		OrderedFixed(), OrderedDaly(),
-		OrderedNBFixed(), OrderedNBDaly(),
-		LeastWaste(),
-	}
+// Registry extensions beyond the paper's seven variants.
+
+// ShortestFirstDaly grants the token to the smallest pending transfer
+// (SPT order), non-blocking, with Daly periods.
+func ShortestFirstDaly() Strategy {
+	return Strategy{Discipline: iosched.ShortestFirst, Policy: ckpt.DalyPolicy()}
 }
 
-// StrategyByName resolves a paper label (as produced by Strategy.Name) to
-// its Strategy. It reports false for unknown names.
-func StrategyByName(name string) (Strategy, bool) {
-	for _, s := range AllStrategies() {
-		if s.Name() == name {
-			return s, true
-		}
-	}
-	return Strategy{}, false
+// RandomDaly grants the token uniformly at random (the strawman control
+// for grant-ordering intelligence), non-blocking, with Daly periods.
+func RandomDaly() Strategy {
+	return Strategy{Discipline: iosched.RandomToken, Policy: ckpt.DalyPolicy()}
+}
+
+// FairShare is Least-Waste with any one workload class bounded to
+// iosched.FairShareCap of the granted token time (Daly periods).
+func FairShare() Strategy {
+	return Strategy{Discipline: iosched.FairShare, Policy: ckpt.DalyPolicy()}
+}
+
+func init() {
+	// The paper's legend order first — AllStrategies()[:7] is the §6
+	// legend — then the extensions.
+	RegisterStrategy("Oblivious-Fixed", ObliviousFixed)
+	RegisterStrategy("Oblivious-Daly", ObliviousDaly)
+	RegisterStrategy("Ordered-Fixed", OrderedFixed)
+	RegisterStrategy("Ordered-Daly", OrderedDaly)
+	RegisterStrategy("Ordered-NB-Fixed", OrderedNBFixed)
+	RegisterStrategy("Ordered-NB-Daly", OrderedNBDaly)
+	RegisterStrategy("Least-Waste", LeastWaste)
+	RegisterStrategy("Shortest-First-Daly", ShortestFirstDaly)
+	RegisterStrategy("Random-Daly", RandomDaly)
+	RegisterStrategy("Fair-Share", FairShare)
 }

@@ -14,12 +14,13 @@ type FailureSpec struct {
 }
 
 // SweepGrid spans a scenario grid over a base configuration: the cross
-// product of the four axes the paper's evaluation varies. An empty axis
-// keeps the base configuration's value, so a grid with only Strategies set
-// is exactly a strategy comparison. Points enumerate with bandwidth
-// outermost and strategy innermost, keeping the strategies of one scenario
-// adjacent — the paired design of §5's comparisons (identical per-run
-// seeds, hence identical job mixes and failure traces).
+// product of the axes the paper's evaluation varies plus the channel
+// count. An empty axis keeps the base configuration's value, so a grid
+// with only Strategies set is exactly a strategy comparison. Points
+// enumerate with bandwidth outermost and strategy innermost, keeping the
+// strategies of one scenario adjacent — the paired design of §5's
+// comparisons (identical per-run seeds, hence identical job mixes and
+// failure traces).
 type SweepGrid struct {
 	// BandwidthsBps are aggregated PFS bandwidths in bytes/s (Figure 1's
 	// x-axis).
@@ -28,6 +29,12 @@ type SweepGrid struct {
 	NodeMTBFSeconds []float64
 	// FailureSpecs are failure inter-arrival laws (extension axis).
 	FailureSpecs []FailureSpec
+	// Channels are token-channel counts k (extension axis). The grid is
+	// a full cross product, so shared-device (non-token) strategies
+	// repeat bit-identical results at every k — keep them off the
+	// strategy axis of a channel sweep when compute matters; the
+	// rectangular output keeps per-k comparisons trivially alignable.
+	Channels []int
 	// Strategies are the I/O-discipline × checkpoint-policy variants.
 	Strategies []Strategy
 }
@@ -41,13 +48,15 @@ type SweepPoint struct {
 	NodeMTBFSeconds float64
 	// Failure is the failure-process override.
 	Failure FailureSpec
+	// Channels is the token-channel override (always >= 1).
+	Channels int
 	// Strategy is the strategy override.
 	Strategy Strategy
 }
 
 // Points enumerates the grid over the base configuration in evaluation
-// order: bandwidth, then MTBF, then failure model, then strategy
-// (innermost).
+// order: bandwidth, then MTBF, then failure model, then channel count,
+// then strategy (innermost).
 func (g SweepGrid) Points(base Config) []SweepPoint {
 	bws := g.BandwidthsBps
 	if len(bws) == 0 {
@@ -61,22 +70,33 @@ func (g SweepGrid) Points(base Config) []SweepPoint {
 	if len(fails) == 0 {
 		fails = []FailureSpec{{Model: base.FailureModel, WeibullShape: base.WeibullShape}}
 	}
+	chans := g.Channels
+	if len(chans) == 0 {
+		k := base.Channels
+		if k == 0 {
+			k = 1
+		}
+		chans = []int{k}
+	}
 	strats := g.Strategies
 	if len(strats) == 0 {
 		strats = []Strategy{base.Strategy}
 	}
-	pts := make([]SweepPoint, 0, len(bws)*len(mtbfs)*len(fails)*len(strats))
+	pts := make([]SweepPoint, 0, len(bws)*len(mtbfs)*len(fails)*len(chans)*len(strats))
 	for _, bw := range bws {
 		for _, mtbf := range mtbfs {
 			for _, fs := range fails {
-				for _, strat := range strats {
-					pts = append(pts, SweepPoint{
-						Index:           len(pts),
-						BandwidthBps:    bw,
-						NodeMTBFSeconds: mtbf,
-						Failure:         fs,
-						Strategy:        strat,
-					})
+				for _, k := range chans {
+					for _, strat := range strats {
+						pts = append(pts, SweepPoint{
+							Index:           len(pts),
+							BandwidthBps:    bw,
+							NodeMTBFSeconds: mtbf,
+							Failure:         fs,
+							Channels:        k,
+							Strategy:        strat,
+						})
+					}
 				}
 			}
 		}
@@ -91,6 +111,7 @@ func (pt SweepPoint) apply(base Config) Config {
 	cfg.Platform.NodeMTBFSeconds = pt.NodeMTBFSeconds
 	cfg.FailureModel = pt.Failure.Model
 	cfg.WeibullShape = pt.Failure.WeibullShape
+	cfg.Channels = pt.Channels
 	cfg.Strategy = pt.Strategy
 	return cfg
 }

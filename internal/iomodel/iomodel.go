@@ -10,16 +10,20 @@
 //     proportional to the job's node count (§2); this is the Oblivious
 //     discipline, and with the Unlimited model it also provides the
 //     interference-free baseline runs.
-//   - TokenDevice: a single I/O token serialises transfers; the granted
-//     transfer runs at full bandwidth while the rest wait. A pluggable
-//     Selector orders the grants (FCFS for Ordered/Ordered-NB; the
-//     Least-Waste heuristic lives in package iosched).
+//   - TokenDevice: k I/O tokens (channels) serialise transfers; each
+//     granted transfer runs at full channel bandwidth while the rest wait.
+//     A pluggable Selector orders the grants (FCFS for Ordered/Ordered-NB;
+//     the Least-Waste heuristic lives in package iosched). k=1 is the
+//     paper's single-token device; unbounded channels admit every transfer
+//     immediately, degenerating to a SharedDevice under the Unlimited
+//     interference model.
 package iomodel
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -83,6 +87,10 @@ type Transfer struct {
 	Kind   Kind
 	Volume float64 // bytes
 	Nodes  int     // q of the owning job: interference weight, waste weight
+	// Class is the owning job's workload-class index (fair-share token
+	// accounting); selectors must tolerate out-of-range values, so
+	// transfers built without one (Class 0) stay valid.
+	Class int
 
 	// LastCkptEnd is, for Checkpoint candidates, the time the job's last
 	// checkpoint commit ended (or its compute phase started): the d_j
@@ -478,9 +486,22 @@ func (d *SharedDevice) Fire() {
 // Selector orders token grants among waiting transfers.
 type Selector interface {
 	// Pick returns the index within pending of the transfer to grant
-	// next. pending is non-empty and in arrival order.
+	// next. pending is non-empty and in arrival order. Pick is called
+	// exactly once per grant, so stateful selectors may account the
+	// granted transfer inside it.
 	Pick(now float64, pending []*Transfer) int
 	Name() string
+}
+
+// StatefulSelector is a Selector carrying per-run state (randomness,
+// served-share accounting). The engine resets it at the start of every
+// replicate with the replicate's seed, which keeps arena-reused runs
+// bit-identical to fresh builds.
+type StatefulSelector interface {
+	Selector
+	// ResetSelector returns the selector to its initial state for a run
+	// driven by the given seed.
+	ResetSelector(seed uint64)
 }
 
 // FCFS grants the token in request-arrival order (the Ordered and
@@ -510,46 +531,175 @@ func (FCFSBackground) Pick(_ float64, pending []*Transfer) int {
 
 func (FCFSBackground) Name() string { return "fcfs-background" }
 
-// TokenDevice serialises transfers: one transfer at a time owns the I/O
-// token and moves at full aggregated bandwidth; the Selector chooses the
-// next owner at each release.
+// Background wraps any Selector with the drain-when-idle policy: the
+// inner selector orders only the foreground candidates, and burst-buffer
+// Drain transfers are considered solely when nothing else waits. Use it
+// for grant orders with no native way to arbitrate drains (selectors that
+// score candidates against each other, like Least-Waste, handle drains
+// themselves and do not need it).
+type Background struct {
+	Inner Selector
+	// scratch buffers reused across picks
+	fg  []*Transfer
+	idx []int
+}
+
+// Pick implements Selector.
+func (b *Background) Pick(now float64, pending []*Transfer) int {
+	b.fg, b.idx = b.fg[:0], b.idx[:0]
+	for i, t := range pending {
+		if t.Kind != Drain {
+			b.fg = append(b.fg, t)
+			b.idx = append(b.idx, i)
+		}
+	}
+	if len(b.fg) == 0 || len(b.fg) == len(pending) {
+		// All drains (serve them) or no drains: nothing to demote.
+		return b.Inner.Pick(now, pending)
+	}
+	return b.idx[b.Inner.Pick(now, b.fg)]
+}
+
+// Name implements Selector.
+func (b *Background) Name() string { return b.Inner.Name() + "-background" }
+
+// ResetSelector implements StatefulSelector, forwarding to the inner
+// selector when it is stateful (a no-op otherwise).
+func (b *Background) ResetSelector(seed uint64) {
+	if ss, ok := b.Inner.(StatefulSelector); ok {
+		ss.ResetSelector(seed)
+	}
+}
+
+// ShortestFirst grants the pending transfer with the smallest volume —
+// shortest service time at full channel bandwidth — breaking ties in
+// arrival order. The classic SPT discipline: small job I/O and checkpoints
+// overtake bulk transfers, minimising mean wait at the cost of delaying
+// the largest candidates.
+type ShortestFirst struct{}
+
+// Pick implements Selector.
+func (ShortestFirst) Pick(_ float64, pending []*Transfer) int {
+	best := 0
+	for i, t := range pending[1:] {
+		if t.Volume < pending[best].Volume {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+func (ShortestFirst) Name() string { return "shortest-first" }
+
+// RandomSelector grants the token uniformly at random among the waiting
+// transfers: the strawman control for grant-ordering intelligence — any
+// informed selector should beat it. Deterministic per run: the engine
+// reseeds it from the replicate seed through ResetSelector.
+type RandomSelector struct {
+	rng rng.RNG
+}
+
+// randomSelectorStream keeps the selector's random stream disjoint from
+// the engine's workload-generation (1) and failure (2) streams of the same
+// replicate seed.
+const randomSelectorStream = 3
+
+// NewRandomSelector returns a random-grant selector seeded for one run.
+func NewRandomSelector(seed uint64) *RandomSelector {
+	s := &RandomSelector{}
+	s.ResetSelector(seed)
+	return s
+}
+
+// Pick implements Selector.
+func (s *RandomSelector) Pick(_ float64, pending []*Transfer) int {
+	if len(pending) == 1 {
+		return 0
+	}
+	return s.rng.Intn(len(pending))
+}
+
+// Name implements Selector.
+func (s *RandomSelector) Name() string { return "random" }
+
+// ResetSelector implements StatefulSelector.
+func (s *RandomSelector) ResetSelector(seed uint64) {
+	s.rng.ReseedStream(seed, randomSelectorStream)
+}
+
+// TokenDevice serialises transfers behind k I/O tokens (channels): up to k
+// transfers at a time each move at full channel bandwidth while the rest
+// wait; the Selector chooses the next owner at each release. k=1 is the
+// paper's single-token device. The model is a partitioned checkpoint store
+// with k parallel write lanes, each lane sustaining the full aggregated
+// bandwidth, so aggregate capacity grows with k; with unbounded channels
+// every transfer is admitted immediately, degenerating to a SharedDevice
+// under the Unlimited interference model.
 type TokenDevice struct {
 	eng     *sim.Engine
 	bw      float64
 	sel     Selector
+	k       int // channel count; <= 0 means unbounded
 	pending []*Transfer
-	current *Transfer
-	wake    *sim.Event
-	seq     uint64
+	// slots are the channel slots, grown on demand up to k (or without
+	// bound when unbounded) and retained across Reset.
+	slots []*tokenSlot
+	busy  int
+	seq   uint64
 }
 
-// NewTokenDevice returns a token device on the given engine.
+// tokenSlot is one granted channel: the in-flight transfer and its
+// completion wake-up. Implementing sim.Handler on the slot keeps per-grant
+// event scheduling allocation-free once the slot exists.
+type tokenSlot struct {
+	dev  *TokenDevice
+	t    *Transfer
+	wake *sim.Event
+}
+
+// Fire implements sim.Handler: this slot's transfer completes.
+func (sl *tokenSlot) Fire() { sl.dev.complete(sl) }
+
+// NewTokenDevice returns a single-token device on the given engine — the
+// paper's serialised I/O discipline.
 func NewTokenDevice(eng *sim.Engine, bandwidth float64, sel Selector) *TokenDevice {
+	return NewTokenDeviceK(eng, bandwidth, sel, 1)
+}
+
+// NewTokenDeviceK returns a token device with k concurrent channels;
+// k <= 0 means unbounded (every submission is granted immediately).
+func NewTokenDeviceK(eng *sim.Engine, bandwidth float64, sel Selector, k int) *TokenDevice {
 	if bandwidth <= 0 {
 		panic("iomodel: non-positive bandwidth")
 	}
 	if sel == nil {
 		sel = FCFS{}
 	}
-	return &TokenDevice{eng: eng, bw: bandwidth, sel: sel}
+	return &TokenDevice{eng: eng, bw: bandwidth, sel: sel, k: k}
 }
 
 // Bandwidth implements Device.
 func (d *TokenDevice) Bandwidth() float64 { return d.bw }
 
+// Channels returns the channel count (<= 0 means unbounded).
+func (d *TokenDevice) Channels() int { return d.k }
+
 // Busy implements Device.
-func (d *TokenDevice) Busy() int {
-	if d.current != nil {
-		return 1
-	}
-	return 0
-}
+func (d *TokenDevice) Busy() int { return d.busy }
 
 // Waiting implements Device.
 func (d *TokenDevice) Waiting() int { return len(d.pending) }
 
-// Current returns the transfer holding the token, if any.
-func (d *TokenDevice) Current() *Transfer { return d.current }
+// Current returns the transfer holding the first busy channel, if any (the
+// token holder of a k=1 device).
+func (d *TokenDevice) Current() *Transfer {
+	for _, sl := range d.slots {
+		if sl.t != nil {
+			return sl.t
+		}
+	}
+	return nil
+}
 
 // Pending returns the waiting transfers in arrival order. The caller must
 // not mutate the slice.
@@ -572,15 +722,18 @@ func (d *TokenDevice) Submit(t *Transfer) {
 
 // Abort implements Device.
 func (d *TokenDevice) Abort(t *Transfer) {
-	if t == d.current {
-		if d.wake != nil {
-			d.wake.Cancel()
-			d.wake = nil
+	for _, sl := range d.slots {
+		if sl.t == t {
+			if sl.wake != nil {
+				sl.wake.Cancel()
+				sl.wake = nil
+			}
+			sl.t = nil
+			d.busy--
+			t.state = stateAborted
+			d.grant()
+			return
 		}
-		d.current = nil
-		t.state = stateAborted
-		d.grant()
-		return
 	}
 	for i, p := range d.pending {
 		if p == t {
@@ -592,49 +745,77 @@ func (d *TokenDevice) Abort(t *Transfer) {
 }
 
 // Reset returns the device to its initial idle state, retaining the
-// pending-queue capacity. The queued and granted transfers are marked
-// aborted without notification. As with SharedDevice.Reset, the engine
-// must be reset (or at time zero) first — the wake event is dropped, not
-// cancelled.
+// pending-queue capacity and the channel slots. The queued and granted
+// transfers are marked aborted without notification. As with
+// SharedDevice.Reset, the engine must be reset (or at time zero) first —
+// the wake events are dropped, not cancelled.
 func (d *TokenDevice) Reset() {
 	for i := range d.pending {
 		d.pending[i].state = stateAborted
 		d.pending[i] = nil
 	}
 	d.pending = d.pending[:0]
-	if d.current != nil {
-		d.current.state = stateAborted
-		d.current = nil
+	for _, sl := range d.slots {
+		if sl.t != nil {
+			sl.t.state = stateAborted
+			sl.t = nil
+		}
+		sl.wake = nil
 	}
-	d.wake = nil
+	d.busy = 0
 	d.seq = 0
 }
 
-// grant hands the token to the selector's choice if the device is idle.
-func (d *TokenDevice) grant() {
-	if d.current != nil || len(d.pending) == 0 {
-		return
+// freeSlot returns an idle channel slot, growing the slot set on demand
+// (slots are retained for the device's lifetime, so steady-state grants
+// allocate nothing).
+func (d *TokenDevice) freeSlot() *tokenSlot {
+	for _, sl := range d.slots {
+		if sl.t == nil {
+			return sl
+		}
 	}
-	now := d.eng.Now()
-	idx := d.sel.Pick(now, d.pending)
-	if idx < 0 || idx >= len(d.pending) {
-		panic(fmt.Sprintf("iomodel: selector %s picked %d of %d", d.sel.Name(), idx, len(d.pending)))
-	}
-	t := d.pending[idx]
-	d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
-	d.current = t
-	t.state = stateActive
-	t.start = now
-	t.notifyStart(now)
-	d.wake = d.eng.AfterHandler(t.Volume/d.bw, d)
+	sl := &tokenSlot{dev: d}
+	d.slots = append(d.slots, sl)
+	return sl
 }
 
-// Fire implements sim.Handler: the current token holder's transfer
-// completes and the token is re-granted.
-func (d *TokenDevice) Fire() {
-	t := d.current
-	d.wake = nil
-	d.current = nil
+// grant hands free channels to the selector's choices until every channel
+// is busy or no transfer waits. Start notifications may submit or abort
+// re-entrantly; the loop re-reads the queue and channel state each
+// iteration, so nested grants fold in safely.
+func (d *TokenDevice) grant() {
+	for len(d.pending) > 0 && (d.k <= 0 || d.busy < d.k) {
+		now := d.eng.Now()
+		idx := d.sel.Pick(now, d.pending)
+		if idx < 0 || idx >= len(d.pending) {
+			panic(fmt.Sprintf("iomodel: selector %s picked %d of %d", d.sel.Name(), idx, len(d.pending)))
+		}
+		t := d.pending[idx]
+		d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+		sl := d.freeSlot()
+		sl.t = t
+		d.busy++
+		t.state = stateActive
+		t.start = now
+		t.notifyStart(now)
+		if sl.t != t {
+			// The start callback aborted this grant re-entrantly; the
+			// slot was freed (and possibly re-granted, arming its own
+			// wake). Arming a wake for the dead transfer would clobber
+			// the new occupant's handle and double-fire the slot.
+			continue
+		}
+		sl.wake = d.eng.AfterHandler(t.Volume/d.bw, sl)
+	}
+}
+
+// complete finishes a slot's transfer and re-grants the freed channel.
+func (d *TokenDevice) complete(sl *tokenSlot) {
+	t := sl.t
+	sl.wake = nil
+	sl.t = nil
+	d.busy--
 	t.state = stateDone
 	t.remaining = 0
 	t.notifyComplete(d.eng.Now())
@@ -643,8 +824,10 @@ func (d *TokenDevice) Fire() {
 
 // Compile-time interface checks.
 var (
-	_ Device      = (*SharedDevice)(nil)
-	_ Device      = (*TokenDevice)(nil)
-	_ sim.Handler = (*SharedDevice)(nil)
-	_ sim.Handler = (*TokenDevice)(nil)
+	_ Device           = (*SharedDevice)(nil)
+	_ Device           = (*TokenDevice)(nil)
+	_ sim.Handler      = (*SharedDevice)(nil)
+	_ sim.Handler      = (*tokenSlot)(nil)
+	_ StatefulSelector = (*RandomSelector)(nil)
+	_ Selector         = ShortestFirst{}
 )

@@ -1,8 +1,9 @@
-// Package iosched implements the I/O scheduling strategies of the paper
-// (§3): the strategy taxonomy shared by the engine and the Least-Waste
+// Package iosched implements the I/O-arbitration layer of the paper (§3):
+// the Arbiter interface every discipline satisfies (see arbiter.go), the
+// canonical discipline values shared by the engine, and the Least-Waste
 // token selector of §3.5.
 //
-// The four disciplines are:
+// The paper's four disciplines are:
 //
 //   - Oblivious (§3.1): uncoordinated I/O on a shared device; blocking.
 //   - Ordered (§3.2): blocking FCFS token.
@@ -13,54 +14,16 @@
 //
 // Combined with the Fixed and Daly checkpoint periods (§3.4) these yield
 // the seven strategy variants evaluated in §6 (Least-Waste is only
-// meaningful with Daly periods — footnote 4).
+// meaningful with Daly periods — footnote 4). Beyond the paper, the
+// package adds ShortestFirst (SPT grant order), RandomToken (the strawman
+// control) and FairShare (Least-Waste with a per-class token-time cap).
 package iosched
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/iomodel"
 )
-
-// Discipline enumerates the I/O scheduling algorithms of §3.
-type Discipline int
-
-const (
-	// Oblivious is the status-quo uncoordinated discipline (§3.1).
-	Oblivious Discipline = iota
-	// Ordered is the blocking FCFS token discipline (§3.2).
-	Ordered
-	// OrderedNB is the non-blocking FCFS token discipline (§3.3).
-	OrderedNB
-	// LeastWaste is the waste-minimising token discipline (§3.5).
-	LeastWaste
-)
-
-func (d Discipline) String() string {
-	switch d {
-	case Oblivious:
-		return "Oblivious"
-	case Ordered:
-		return "Ordered"
-	case OrderedNB:
-		return "Ordered-NB"
-	case LeastWaste:
-		return "Least-Waste"
-	default:
-		return fmt.Sprintf("Discipline(%d)", int(d))
-	}
-}
-
-// UsesToken reports whether the discipline serialises I/O behind the
-// single token (all but Oblivious).
-func (d Discipline) UsesToken() bool { return d != Oblivious }
-
-// NonBlockingCheckpoints reports whether jobs keep computing while their
-// checkpoint request waits for the token.
-func (d Discipline) NonBlockingCheckpoints() bool {
-	return d == OrderedNB || d == LeastWaste
-}
 
 // LeastWasteSelector implements §3.5: at each token release, grant the
 // candidate whose execution would inflict the least expected waste on the
@@ -141,5 +104,95 @@ func (s *LeastWasteSelector) ExpectedWaste(now float64, pending []*iomodel.Trans
 	return dur * sum
 }
 
-// Compile-time check: LeastWasteSelector is an iomodel.Selector.
-var _ iomodel.Selector = (*LeastWasteSelector)(nil)
+// FairShareSelector is the per-class fair-share variant of Least-Waste:
+// grants follow the §3.5 waste-minimising order, but any workload class
+// whose share of granted token time has reached MaxShare becomes
+// ineligible while an under-cap candidate waits. This bounds how much of
+// the serialised I/O device a single dominant class (by Daly frequency ×
+// checkpoint volume) can monopolise — the starvation mode the pure
+// expected-waste order permits when one class's candidates always score
+// lowest.
+//
+// Served time is charged at grant, at the transfer's full-bandwidth
+// duration; transfers aborted mid-grant (failures) keep their charge, a
+// deliberate over-estimate that errs towards fairness.
+type FairShareSelector struct {
+	lw LeastWasteSelector
+	// MaxShare in (0, 1] is the cap on any class's fraction of granted
+	// token time.
+	MaxShare float64
+	served   []float64 // granted token seconds, by class index
+	total    float64
+}
+
+// NewFairShareSelector returns the selector for a scenario with the given
+// number of workload classes; it panics on non-positive parameters or a
+// cap outside (0, 1].
+func NewFairShareSelector(muInd, bandwidth float64, classes int, maxShare float64) *FairShareSelector {
+	if maxShare <= 0 || maxShare > 1 {
+		panic("iosched: fair-share cap outside (0, 1]")
+	}
+	if classes < 0 {
+		classes = 0
+	}
+	return &FairShareSelector{
+		lw:       *NewLeastWasteSelector(muInd, bandwidth),
+		MaxShare: maxShare,
+		served:   make([]float64, classes),
+	}
+}
+
+// Name implements iomodel.Selector.
+func (s *FairShareSelector) Name() string { return "fair-share" }
+
+// ResetSelector implements iomodel.StatefulSelector: the served-time
+// accounting starts fresh each replicate (the seed plays no role — the
+// selector is deterministic).
+func (s *FairShareSelector) ResetSelector(uint64) {
+	for i := range s.served {
+		s.served[i] = 0
+	}
+	s.total = 0
+}
+
+// eligible reports whether the candidate's class is under the cap.
+// Out-of-range class indices are always eligible (and never accounted).
+func (s *FairShareSelector) eligible(t *iomodel.Transfer) bool {
+	if s.total <= 0 || t.Class < 0 || t.Class >= len(s.served) {
+		return true
+	}
+	return s.served[t.Class] < s.MaxShare*s.total
+}
+
+// Pick implements iomodel.Selector: the least-waste candidate among the
+// under-cap classes, falling back to the unconstrained least-waste choice
+// when every waiting class is over the cap. The grant is charged to the
+// winner's class before returning (Pick is called exactly once per
+// grant).
+func (s *FairShareSelector) Pick(now float64, pending []*iomodel.Transfer) int {
+	best, bestWaste := -1, math.Inf(1)
+	for i := range pending {
+		if !s.eligible(pending[i]) {
+			continue
+		}
+		if w := s.lw.ExpectedWaste(now, pending, i); w < bestWaste {
+			best, bestWaste = i, w
+		}
+	}
+	if best < 0 {
+		best = s.lw.Pick(now, pending)
+	}
+	t := pending[best]
+	dur := t.Volume / s.lw.Bandwidth
+	if t.Class >= 0 && t.Class < len(s.served) {
+		s.served[t.Class] += dur
+	}
+	s.total += dur
+	return best
+}
+
+// Compile-time checks: the selectors satisfy the iomodel interfaces.
+var (
+	_ iomodel.Selector         = (*LeastWasteSelector)(nil)
+	_ iomodel.StatefulSelector = (*FairShareSelector)(nil)
+)

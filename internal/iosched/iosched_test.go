@@ -15,7 +15,7 @@ func TestDisciplineTaxonomy(t *testing.T) {
 	if Oblivious.UsesToken() {
 		t.Error("Oblivious must not use the token")
 	}
-	for _, d := range []Discipline{Ordered, OrderedNB, LeastWaste} {
+	for _, d := range []Discipline{Ordered, OrderedNB, LeastWaste, ShortestFirst, RandomToken, FairShare} {
 		if !d.UsesToken() {
 			t.Errorf("%v must use the token", d)
 		}
@@ -23,20 +23,91 @@ func TestDisciplineTaxonomy(t *testing.T) {
 	if Oblivious.NonBlockingCheckpoints() || Ordered.NonBlockingCheckpoints() {
 		t.Error("blocking disciplines report non-blocking checkpoints")
 	}
-	if !OrderedNB.NonBlockingCheckpoints() || !LeastWaste.NonBlockingCheckpoints() {
-		t.Error("non-blocking disciplines report blocking checkpoints")
+	for _, d := range []Discipline{OrderedNB, LeastWaste, ShortestFirst, RandomToken, FairShare} {
+		if !d.NonBlockingCheckpoints() {
+			t.Errorf("%v must report non-blocking checkpoints", d)
+		}
 	}
 }
 
-func TestDisciplineString(t *testing.T) {
+func TestDisciplineNames(t *testing.T) {
 	want := map[Discipline]string{
 		Oblivious: "Oblivious", Ordered: "Ordered",
 		OrderedNB: "Ordered-NB", LeastWaste: "Least-Waste",
+		ShortestFirst: "Shortest-First", RandomToken: "Random",
+		FairShare: "Fair-Share",
 	}
 	for d, s := range want {
-		if d.String() != s {
-			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), s)
+		if d.Name() != s {
+			t.Errorf("Name() = %q, want %q", d.Name(), s)
 		}
+	}
+}
+
+// StrategyLabel composes discipline-policy names; the Least-Waste family
+// (footnote 4: Daly-only) keeps the bare discipline name.
+func TestStrategyLabels(t *testing.T) {
+	cases := []struct {
+		d      Discipline
+		policy string
+		want   string
+	}{
+		{Oblivious, "Fixed", "Oblivious-Fixed"},
+		{Ordered, "Daly", "Ordered-Daly"},
+		{OrderedNB, "Daly", "Ordered-NB-Daly"},
+		{ShortestFirst, "Daly", "Shortest-First-Daly"},
+		{RandomToken, "Daly", "Random-Daly"},
+		{LeastWaste, "Daly", "Least-Waste"},
+		{LeastWaste, "Fixed", "Least-Waste"},
+		{FairShare, "Daly", "Fair-Share"},
+	}
+	for _, c := range cases {
+		if got := c.d.StrategyLabel(c.policy); got != c.want {
+			t.Errorf("%v.StrategyLabel(%q) = %q, want %q", c.d, c.policy, got, c.want)
+		}
+	}
+}
+
+// Each token discipline instantiates its scenario selector; the FCFS
+// family demotes burst-buffer drains when asked, the Least-Waste family
+// does not need to.
+func TestArbiterSelectors(t *testing.T) {
+	sc := Scenario{MuIndSeconds: units.Years(2), BandwidthBps: 100, Classes: 4}
+	bg := sc
+	bg.Background = true
+	cases := []struct {
+		d                 Discipline
+		plain, background string
+	}{
+		{Ordered, "fcfs", "fcfs-background"},
+		{OrderedNB, "fcfs", "fcfs-background"},
+		{LeastWaste, "least-waste", "least-waste"},
+		{ShortestFirst, "shortest-first", "shortest-first-background"},
+		{RandomToken, "random", "random-background"},
+		{FairShare, "fair-share", "fair-share"},
+	}
+	for _, c := range cases {
+		if got := c.d.NewSelector(sc).Name(); got != c.plain {
+			t.Errorf("%v selector = %q, want %q", c.d, got, c.plain)
+		}
+		if got := c.d.NewSelector(bg).Name(); got != c.background {
+			t.Errorf("%v background selector = %q, want %q", c.d, got, c.background)
+		}
+	}
+	if Oblivious.NewSelector(sc) != nil {
+		t.Error("Oblivious returned a token selector")
+	}
+	// Stateful selectors must expose the per-replicate reset hook — also
+	// through the Background wrapper, or arena reuse would leak random
+	// state across replicates under a burst buffer.
+	if _, ok := RandomToken.NewSelector(sc).(iomodel.StatefulSelector); !ok {
+		t.Error("RandomToken selector is not resettable")
+	}
+	if _, ok := RandomToken.NewSelector(bg).(iomodel.StatefulSelector); !ok {
+		t.Error("RandomToken background selector is not resettable")
+	}
+	if _, ok := FairShare.NewSelector(sc).(iomodel.StatefulSelector); !ok {
+		t.Error("FairShare selector is not resettable")
 	}
 }
 

@@ -100,6 +100,62 @@ func TestUrgentLen(t *testing.T) {
 	}
 }
 
+// TestFirstFitSemantics pins the full FirstFit contract in one mixed
+// scenario — the behaviour the engine's restart and backfilling paths
+// depend on:
+//
+//  1. the urgent band is scanned strictly before the normal band, even
+//     when normal items arrived first;
+//  2. order within each band is FIFO;
+//  3. backfilling: a too-large item is skipped in place (it keeps its
+//     queue position) while later, smaller items of its band — and the
+//     whole following band — still start.
+func TestFirstFitSemantics(t *testing.T) {
+	q := &Queue{}
+	// Normal submissions arrive first...
+	q.PushNormal(Item{ID: 10, Nodes: 30})
+	q.PushNormal(Item{ID: 11, Nodes: 90}) // too large once restarts take 60
+	q.PushNormal(Item{ID: 12, Nodes: 20})
+	// ...then two failure restarts jump the line.
+	q.PushUrgent(Item{ID: 20, Nodes: 70}) // too large for 100 free? no: fits first
+	q.PushUrgent(Item{ID: 21, Nodes: 40}) // skipped at 30 free, backfilled by nothing
+	q.PushUrgent(Item{ID: 22, Nodes: 10})
+
+	started := collect(q, 100)
+	got := ids(started)
+	// Scan: urgent 20 (70 ≤ 100 → free 30), urgent 21 (40 > 30 → skip),
+	// urgent 22 (10 ≤ 30 → free 20), then normal 10 (30 > 20 → skip),
+	// normal 11 (90 > 20 → skip), normal 12 (20 ≤ 20 → free 0).
+	want := []int32{20, 22, 12}
+	if len(got) != len(want) {
+		t.Fatalf("started %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("started %v, want %v", got, want)
+		}
+	}
+	// Skipped items keep their positions: urgent 21 still heads the queue,
+	// normals 10 and 11 follow in FIFO order.
+	if it, ok := q.Peek(); !ok || it.ID != 21 {
+		t.Fatalf("Peek = %+v, want urgent 21", it)
+	}
+	if q.UrgentLen() != 1 || q.Len() != 3 {
+		t.Fatalf("UrgentLen=%d Len=%d, want 1/3", q.UrgentLen(), q.Len())
+	}
+	// A later scan with more room drains the bands urgent-first, FIFO.
+	rest := ids(collect(q, 200))
+	want = []int32{21, 10, 11}
+	for i := range want {
+		if rest[i] != want[i] {
+			t.Fatalf("second scan started %v, want %v", rest, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
 // Property: FirstFit never over-allocates, preserves FIFO order among
 // started items of the same band, and keeps skipped items in order.
 func TestFirstFitProperty(t *testing.T) {

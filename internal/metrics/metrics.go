@@ -39,6 +39,10 @@ const (
 	numCategories
 )
 
+// NumCategories is the number of waste categories: the size of a fixed
+// per-category accumulator array indexable by Category.
+const NumCategories = int(numCategories)
+
 func (c Category) String() string {
 	switch c {
 	case CatCheckpoint:

@@ -269,7 +269,15 @@ func GenerateInto(r *rng.RNG, p platform.Platform, params []ClassParams, cfg Gen
 	}
 
 	target := float64(p.Nodes) * units.Days(cfg.MinDays) * cfg.Buffer
-	alloc := make([]float64, len(params))
+	// Per-class accumulators live on the stack for realistic class counts,
+	// keeping replicate-path generation allocation-free.
+	var allocArr [16]float64
+	var alloc []float64
+	if len(params) <= len(allocArr) {
+		alloc = allocArr[:len(params)]
+	} else {
+		alloc = make([]float64, len(params))
+	}
 	total := 0.0
 	jobs := buf[:0]
 

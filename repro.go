@@ -37,9 +37,11 @@ package repro
 
 import (
 	"repro/internal/burstbuffer"
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/failure"
 	"repro/internal/iomodel"
+	"repro/internal/iosched"
 	"repro/internal/lowerbound"
 	"repro/internal/platform"
 	"repro/internal/stats"
@@ -99,6 +101,22 @@ type (
 	// InterferenceModel shapes bandwidth sharing on the Oblivious
 	// discipline.
 	InterferenceModel = iomodel.InterferenceModel
+	// Discipline is the I/O-arbitration interface a strategy's
+	// discipline implements (blocking behaviour + token-grant order);
+	// implement it and RegisterStrategy a pairing with a policy to add a
+	// discipline with no engine edits.
+	Discipline = iosched.Discipline
+	// ArbitrationScenario carries the per-scenario parameters a
+	// Discipline receives when instantiating its token selector.
+	ArbitrationScenario = iosched.Scenario
+	// Selector orders token grants among waiting transfers; stateful
+	// implementations should also satisfy iomodel.StatefulSelector.
+	Selector = iomodel.Selector
+	// Transfer is one I/O operation on a device — the unit a Selector
+	// orders.
+	Transfer = iomodel.Transfer
+	// CheckpointPolicy derives per-job checkpoint periods (§3.4).
+	CheckpointPolicy = ckpt.Policy
 	// FailureModel selects the failure inter-arrival law.
 	FailureModel = failure.Model
 	// BurstBuffer parameterises the §8 two-tier checkpoint extension
@@ -162,6 +180,13 @@ func InstantiateClasses(p Platform, classes []Class) ([]ClassParams, error) {
 // DefaultGenConfig returns the paper's workload-generation parameters.
 func DefaultGenConfig() GenConfig { return workload.DefaultGenConfig() }
 
+// FixedPolicy returns the fixed-period checkpoint policy (seconds; 0
+// selects the paper's one-hour default).
+func FixedPolicy(seconds float64) CheckpointPolicy { return ckpt.FixedPolicy(seconds) }
+
+// DalyPolicy returns the Young/Daly optimal-period checkpoint policy.
+func DalyPolicy() CheckpointPolicy { return ckpt.DalyPolicy() }
+
 // The seven strategy variants of §6, in the paper's legend order.
 func ObliviousFixed() Strategy { return engine.ObliviousFixed() }
 
@@ -183,11 +208,40 @@ func OrderedNBDaly() Strategy { return engine.OrderedNBDaly() }
 // LeastWaste is the paper's cooperative waste-minimising strategy (§3.5).
 func LeastWaste() Strategy { return engine.LeastWaste() }
 
-// AllStrategies returns the seven variants in legend order.
+// Registry extensions beyond the paper's seven variants.
+
+// ShortestFirstDaly grants the token to the smallest pending transfer
+// (SPT order), non-blocking, with Daly periods.
+func ShortestFirstDaly() Strategy { return engine.ShortestFirstDaly() }
+
+// RandomDaly grants the token uniformly at random — the strawman control
+// for grant-ordering intelligence — non-blocking, with Daly periods.
+func RandomDaly() Strategy { return engine.RandomDaly() }
+
+// FairShare is Least-Waste with any one workload class bounded to half of
+// the granted token time (Daly periods).
+func FairShare() Strategy { return engine.FairShare() }
+
+// AllStrategies returns every registered strategy in registration order:
+// the paper's seven legend variants first, then the extensions.
 func AllStrategies() []Strategy { return engine.AllStrategies() }
 
-// StrategyByName resolves a label like "Ordered-NB-Daly".
+// LegendStrategies returns exactly the paper's seven §6 legend variants,
+// in legend order — the set the figure reproductions evaluate.
+func LegendStrategies() []Strategy { return engine.LegendStrategies() }
+
+// StrategyByName resolves a registered label like "Ordered-NB-Daly".
 func StrategyByName(name string) (Strategy, bool) { return engine.StrategyByName(name) }
+
+// StrategyNames returns the registered strategy names in registration
+// order.
+func StrategyNames() []string { return engine.StrategyNames() }
+
+// RegisterStrategy adds a named strategy to the registry consumed by
+// AllStrategies, StrategyByName, the sweep drivers and the CLIs. Pair a
+// custom iosched.Arbiter-style discipline with a checkpoint policy and
+// every driver picks it up by name. Registration is meant for init time.
+func RegisterStrategy(name string, mk func() Strategy) { engine.RegisterStrategy(name, mk) }
 
 // Run executes one simulation (a single-use Arena under the hood; hold a
 // NewArena when replicating the same scenario many times).

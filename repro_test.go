@@ -63,6 +63,7 @@ func TestPublicStrategyList(t *testing.T) {
 	for _, want := range []string{
 		"Oblivious-Fixed", "Oblivious-Daly", "Ordered-Fixed", "Ordered-Daly",
 		"Ordered-NB-Fixed", "Ordered-NB-Daly", "Least-Waste",
+		"Shortest-First-Daly", "Random-Daly", "Fair-Share",
 	} {
 		if !names[want] {
 			t.Errorf("missing strategy %q", want)
@@ -70,6 +71,73 @@ func TestPublicStrategyList(t *testing.T) {
 	}
 	if s, ok := repro.StrategyByName("Least-Waste"); !ok || s.Name() != "Least-Waste" {
 		t.Error("StrategyByName(Least-Waste) failed")
+	}
+	if got := repro.StrategyNames(); len(got) != len(repro.AllStrategies()) {
+		t.Errorf("StrategyNames() returned %d names for %d strategies", len(got), len(repro.AllStrategies()))
+	}
+}
+
+// lifoDiscipline is a custom arbiter defined entirely outside the
+// library: last-come-first-served token grants, non-blocking checkpoints.
+type lifoDiscipline struct{}
+
+func (lifoDiscipline) Name() string                 { return "LIFO" }
+func (lifoDiscipline) UsesToken() bool              { return true }
+func (lifoDiscipline) NonBlockingCheckpoints() bool { return true }
+func (lifoDiscipline) NewSelector(repro.ArbitrationScenario) repro.Selector {
+	return lifoSelector{}
+}
+func (lifoDiscipline) StrategyLabel(policy string) string { return "LIFO-" + policy }
+
+type lifoSelector struct{}
+
+func (lifoSelector) Pick(_ float64, pending []*repro.Transfer) int { return len(pending) - 1 }
+func (lifoSelector) Name() string                                  { return "lifo" }
+
+// A discipline implemented and registered entirely through the public
+// facade is runnable end to end — by value and by registry name — with no
+// engine or CLI edits.
+func TestPublicCustomDiscipline(t *testing.T) {
+	// The registry is process-global with no unregister; guard so
+	// -count=2 (and bench runs sharing the process) do not re-register.
+	if _, registered := repro.StrategyByName("LIFO-Daly"); !registered {
+		repro.RegisterStrategy("LIFO-Daly", func() repro.Strategy {
+			return repro.Strategy{Discipline: lifoDiscipline{}, Policy: repro.DalyPolicy()}
+		})
+	}
+	s, ok := repro.StrategyByName("LIFO-Daly")
+	if !ok {
+		t.Fatal("registered strategy not resolvable")
+	}
+	res, err := repro.Run(testConfig(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "LIFO-Daly" || res.Checkpoints == 0 {
+		t.Fatalf("custom discipline run implausible: %+v", res)
+	}
+}
+
+// The registry extensions run end to end through the public facade at a
+// non-default channel count.
+func TestPublicRegistryExtensionsRun(t *testing.T) {
+	for _, name := range []string{"Shortest-First-Daly", "Random-Daly", "Fair-Share"} {
+		s, ok := repro.StrategyByName(name)
+		if !ok {
+			t.Fatalf("StrategyByName(%q) failed", name)
+		}
+		cfg := testConfig(s)
+		cfg.Channels = 2
+		res, err := repro.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Strategy != name {
+			t.Errorf("%s: result labelled %q", name, res.Strategy)
+		}
+		if res.WasteRatio <= 0 || res.WasteRatio >= 1 || res.Checkpoints == 0 {
+			t.Errorf("%s: implausible result %+v", name, res)
+		}
 	}
 }
 
