@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -188,6 +189,43 @@ func BenchmarkMonteCarlo(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replicates/sec")
+	})
+}
+
+// BenchmarkSessionReuse measures what the Session redesign is for: one
+// warm Session pulling a whole scenario grid (its per-worker arenas
+// reconfigured per point) against a fresh pool per sweep — the cost
+// chained per-call entry points paid before sessions. Single worker, so
+// the numbers are per-core grid rates. Recorded in BENCH_*.json.
+func BenchmarkSessionReuse(b *testing.B) {
+	ctx := context.Background()
+	base := benchConfig(repro.Cielo(40, 2), repro.OrderedNBDaly())
+	grid := repro.SweepGrid{
+		BandwidthsBps: []float64{40e9, 80e9, 160e9},
+		Strategies:    []repro.Strategy{repro.OrderedNBDaly(), repro.LeastWaste()},
+	}
+	sweepOnce := func(b *testing.B, session *repro.Session) {
+		points, errf := session.Sweep(ctx, base, grid, benchRuns)
+		for range points {
+		}
+		if err := errf(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("warm-session", func(b *testing.B) {
+		session := repro.NewSession(repro.WithWorkers(1))
+		sweepOnce(b, session) // populate the pool outside the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweepOnce(b, session)
+		}
+	})
+	b.Run("per-call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweepOnce(b, repro.NewSession(repro.WithWorkers(1)))
+		}
 	})
 }
 

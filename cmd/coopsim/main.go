@@ -5,6 +5,11 @@
 // prints the table), so disciplines added through engine.RegisterStrategy
 // are sweepable here with no CLI changes.
 //
+// The whole experiment runs through one repro.Session: a single warm set
+// of per-worker simulation arenas serves every (scenario × strategy) cell,
+// and SIGINT cancels the campaign gracefully — in-flight workers drain,
+// the rows already printed stay flushed, and the command exits non-zero.
+//
 // Monte-Carlo replication streams through the engine's O(1)-memory path
 // unless -breakdown needs the per-run details, so -runs scales to paper
 // sizes and beyond without memory growth.
@@ -21,16 +26,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
-	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/cliutil"
 	"repro/internal/units"
 )
 
@@ -39,7 +46,7 @@ func main() {
 		platformName = flag.String("platform", "cielo", "platform: cielo or prospective")
 		bw           = flag.Float64("bw", 40, "aggregated PFS bandwidth in GB/s")
 		mtbf         = flag.Float64("mtbf", 2, "node MTBF in years")
-		strategyName = flag.String("strategy", "all", "comma-separated strategy names (see -list) or 'all'")
+		strategyName = flag.String("strategy", "all", "comma-separated strategy names (see -list), 'all' or 'legend'")
 		channels     = flag.String("channels", "1", "comma-separated token-channel counts k to sweep")
 		runs         = flag.Int("runs", 20, "Monte-Carlo replications per strategy")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -65,45 +72,33 @@ func main() {
 		return
 	}
 
-	mkPlatform := func(bwGBps, mtbfYears float64) repro.Platform {
-		switch *platformName {
-		case "cielo":
-			return repro.Cielo(bwGBps, mtbfYears)
-		case "prospective":
-			return repro.Prospective(bwGBps, mtbfYears)
-		default:
-			fmt.Fprintf(os.Stderr, "coopsim: unknown platform %q\n", *platformName)
-			os.Exit(2)
-			return repro.Platform{}
-		}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
+		os.Exit(2)
 	}
-
-	var strategies []repro.Strategy
-	if *strategyName == "all" {
-		strategies = repro.AllStrategies()
-	} else {
-		for _, name := range strings.Split(*strategyName, ",") {
-			name = strings.TrimSpace(name)
-			s, ok := repro.StrategyByName(name)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "coopsim: unknown strategy %q (try -list)\n", name)
-				os.Exit(2)
-			}
-			strategies = append(strategies, s)
-		}
+	plat, err := cliutil.Platform(*platformName, *bw, *mtbf)
+	if err != nil {
+		fail(err)
 	}
-	channelCounts := parseChannels(*channels)
+	strategies, err := cliutil.Strategies(*strategyName)
+	if err != nil {
+		fail(err)
+	}
+	channelCounts, err := cliutil.Channels(*channels)
+	if err != nil {
+		fail(err)
+	}
 
 	if *tsv {
 		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\tchannels\t" + tsvHeader())
 	}
 
 	// The whole experiment — one point or a -sweep-* series, times the
-	// strategy set — is a single scenario grid evaluated through the
-	// engine's Sweep driver, so every point reuses the same per-worker
-	// simulation arenas.
+	// strategy set — is a single scenario grid pulled through one
+	// session, so every point reuses the same per-worker simulation
+	// arenas and SIGINT aborts the campaign at a replicate boundary.
 	base := repro.Config{
-		Platform:    mkPlatform(*bw, *mtbf),
+		Platform:    plat,
 		Classes:     repro.APEXClasses(),
 		Seed:        *seed,
 		HorizonDays: *days,
@@ -111,22 +106,36 @@ func main() {
 	grid := repro.SweepGrid{Strategies: strategies, Channels: channelCounts}
 	switch {
 	case *sweepBW != "":
-		lo, hi, step := parseSweep(*sweepBW)
-		for b := lo; b <= hi+1e-9; b += step {
+		vals, err := cliutil.SweepValues(*sweepBW)
+		if err != nil {
+			fail(err)
+		}
+		for _, b := range vals {
 			grid.BandwidthsBps = append(grid.BandwidthsBps, units.GBps(b))
 		}
 	case *sweepMTBF != "":
-		lo, hi, step := parseSweep(*sweepMTBF)
-		for y := lo; y <= hi+1e-9; y += step {
+		vals, err := cliutil.SweepValues(*sweepMTBF)
+		if err != nil {
+			fail(err)
+		}
+		for _, y := range vals {
 			grid.NodeMTBFSeconds = append(grid.NodeMTBFSeconds, units.Years(y))
 		}
 	}
 
+	ctx, cancel := cliutil.InterruptContext()
+	defer cancel()
+
 	// Exact candlesticks need only the waste ratios; the per-run
 	// Result structs are materialised solely for -breakdown.
-	opts := repro.MCOptions{KeepWasteRatios: true, KeepResults: *breakdown}
+	session := repro.NewSession(
+		repro.WithWorkers(*workers),
+		repro.WithKeepWasteRatios(true),
+		repro.WithKeepResults(*breakdown),
+	)
 	nStrats := len(strategies)
-	err := repro.Sweep(base, grid, *runs, *workers, opts, func(pt repro.SweepPoint, mc repro.MCResult) {
+	points, errf := session.Sweep(ctx, base, grid, *runs)
+	for pt, mc := range points {
 		bwGBps := pt.BandwidthBps / units.GB
 		mtbfYears := pt.NodeMTBFSeconds / units.Year
 		p := base.Platform
@@ -165,8 +174,11 @@ func main() {
 					"Theoretical-Model", sol.Waste, sol.Lambda, sol.IOFraction, sol.Constrained)
 			}
 		}
-	})
-	if err != nil {
+	}
+	if err := errf(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			cliutil.ExitInterrupted("coopsim", err)
+		}
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -191,40 +203,6 @@ func printRegistry() {
 	}
 }
 
-// parseChannels parses a comma-separated list of positive channel counts.
-func parseChannels(s string) []int {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		k, err := strconv.Atoi(part)
-		if err != nil || k < 1 {
-			fmt.Fprintf(os.Stderr, "coopsim: -channels %q: bad count %q\n", s, part)
-			os.Exit(2)
-		}
-		out = append(out, k)
-	}
-	return out
-}
-
-// parseSweep parses "lo:hi:step" with positive components.
-func parseSweep(s string) (lo, hi, step float64) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		fmt.Fprintf(os.Stderr, "coopsim: sweep %q not of the form lo:hi:step\n", s)
-		os.Exit(2)
-	}
-	vals := make([]float64, 3)
-	for i, part := range parts {
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "coopsim: sweep %q: bad component %q\n", s, part)
-			os.Exit(2)
-		}
-		vals[i] = v
-	}
-	return vals[0], vals[1], vals[2]
-}
-
 func tsvHeader() string {
 	return "n\tmean\tstddev\tmin\tp10\tp25\tp50\tp75\tp90\tmax"
 }
@@ -233,7 +211,9 @@ func tsvHeader() string {
 // Ordered-NB-Daly run on Cielo, 40 GB/s, 2-year node MTBF — the same unit
 // as BenchmarkEngine) plus the Monte-Carlo replicate throughput of a
 // reused arena against a fresh build per replicate (the same comparison
-// as BenchmarkMonteCarlo), and writes a machine-readable record so the
+// as BenchmarkMonteCarlo) and of the Session driver reusing one warm pool
+// across a grid against per-call pools (the same comparison as
+// BenchmarkSessionReuse), and writes a machine-readable record so the
 // perf trajectory is tracked across PRs.
 func runBenchJSON(path string) {
 	cfg := repro.Config{
@@ -314,6 +294,53 @@ func runBenchJSON(path string) {
 		}
 	})
 
+	// Session replicate throughput: the full driver (dispatch, ordering,
+	// aggregation) over one warm single-worker session — the number that
+	// must not regress against the raw arena path above.
+	ctx := context.Background()
+	sessionRes := testing.Benchmark(func(b *testing.B) {
+		session := repro.NewSession(repro.WithWorkers(1))
+		// Warm the pool like the arena measurement.
+		if _, err := session.MonteCarlo(ctx, cfg, 8); err != nil {
+			fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+			os.Exit(1)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if _, err := session.MonteCarlo(ctx, cfg, b.N); err != nil {
+			fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+			os.Exit(1)
+		}
+	})
+
+	// Session grid reuse: a 3-point bandwidth grid through one warm
+	// session vs a fresh pool per point (what chained per-call entry
+	// points cost before sessions).
+	grid := repro.SweepGrid{BandwidthsBps: []float64{40e9, 80e9, 160e9}}
+	gridPoints := len(grid.BandwidthsBps)
+	sweepOnce := func(session *repro.Session) {
+		points, errf := session.Sweep(ctx, cfg, grid, 4)
+		for range points {
+		}
+		if err := errf(); err != nil {
+			fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	warmGrid := testing.Benchmark(func(b *testing.B) {
+		session := repro.NewSession(repro.WithWorkers(1))
+		sweepOnce(session)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweepOnce(session)
+		}
+	})
+	perCallGrid := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweepOnce(repro.NewSession(repro.WithWorkers(1)))
+		}
+	})
+
 	record := map[string]any{
 		"scenario":       "cielo-40GBps-mtbf2y-ordered-nb-daly-60d",
 		"go":             runtime.Version(),
@@ -331,6 +358,13 @@ func runBenchJSON(path string) {
 			"fresh_allocs_per_op":      freshRes.AllocsPerOp(),
 			"fresh_bytes_per_op":       freshRes.AllocedBytesPerOp(),
 			"arena_by_channels":        perChannel,
+		},
+		"session": map[string]any{
+			"replicates_per_sec":          1e9 / float64(sessionRes.NsPerOp()),
+			"allocs_per_op":               sessionRes.AllocsPerOp(),
+			"grid_points":                 gridPoints,
+			"warm_grid_sweeps_per_sec":    1e9 / float64(warmGrid.NsPerOp()),
+			"percall_grid_sweeps_per_sec": 1e9 / float64(perCallGrid.NsPerOp()),
 		},
 	}
 	out, err := json.MarshalIndent(record, "", "  ")

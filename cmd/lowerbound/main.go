@@ -14,13 +14,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
 	"repro/internal/units"
 )
 
@@ -39,18 +40,22 @@ func main() {
 	flag.Parse()
 
 	mk := func(bwGBps, mtbfYears float64) repro.Platform {
-		if *platformName == "prospective" {
-			return repro.Prospective(bwGBps, mtbfYears)
+		p, err := cliutil.Platform(*platformName, bwGBps, mtbfYears)
+		if err != nil {
+			fatal(err)
 		}
-		return repro.Cielo(bwGBps, mtbfYears)
+		return p
 	}
 
 	classes := repro.APEXClasses()
 	switch {
 	case *sweepBW != "":
-		lo, hi, step := parseSweep(*sweepBW)
+		vals, err := cliutil.SweepValues(*sweepBW)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println("bandwidth_gbps\tlambda\tio_fraction\twaste")
-		for b := lo; b <= hi+1e-9; b += step {
+		for _, b := range vals {
 			sol, err := repro.LowerBound(mk(b, *mtbf), classes)
 			if err != nil {
 				fatal(err)
@@ -58,9 +63,12 @@ func main() {
 			fmt.Printf("%g\t%.6g\t%.4f\t%.4f\n", b, sol.Lambda, sol.IOFraction, sol.Waste)
 		}
 	case *sweepMTBF != "":
-		lo, hi, step := parseSweep(*sweepMTBF)
+		vals, err := cliutil.SweepValues(*sweepMTBF)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println("mtbf_years\tlambda\tio_fraction\twaste")
-		for y := lo; y <= hi+1e-9; y += step {
+		for _, y := range vals {
 			sol, err := repro.LowerBound(mk(*bw, y), classes)
 			if err != nil {
 				fatal(err)
@@ -92,8 +100,9 @@ func main() {
 	}
 }
 
-// simulateCheck measures the named strategy's waste with the streaming
-// Monte-Carlo path and prints it next to the theoretical bound.
+// simulateCheck measures the named strategy's waste with a streaming
+// session experiment (cancellable with SIGINT) and prints it next to the
+// theoretical bound.
 func simulateCheck(p repro.Platform, name string, bound float64, runs int, days float64, seed uint64) {
 	strat, ok := repro.StrategyByName(name)
 	if !ok {
@@ -106,30 +115,18 @@ func simulateCheck(p repro.Platform, name string, bound float64, runs int, days 
 		Seed:        seed,
 		HorizonDays: days,
 	}
-	mc, err := repro.MonteCarloStream(cfg, runs, 0, nil)
+	ctx, cancel := cliutil.InterruptContext()
+	defer cancel()
+	mc, err := repro.NewSession().MonteCarlo(ctx, cfg, runs)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			cliutil.ExitInterrupted("lowerbound", err)
+		}
 		fatal(err)
 	}
 	s := mc.Summary
 	fmt.Printf("\nmeasured %s over %d runs: mean=%.4f box=[%.4f %.4f] (bound %.4f, gap %+.4f)\n",
 		strat.Name(), runs, s.Mean, s.P25, s.P75, bound, s.Mean-bound)
-}
-
-// parseSweep parses "lo:hi:step".
-func parseSweep(s string) (lo, hi, step float64) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		fatal(fmt.Errorf("sweep %q not of the form lo:hi:step", s))
-	}
-	vals := make([]float64, 3)
-	for i, part := range parts {
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil || v <= 0 {
-			fatal(fmt.Errorf("sweep %q: bad component %q", s, part))
-		}
-		vals[i] = v
-	}
-	return vals[0], vals[1], vals[2]
 }
 
 func fatal(err error) {

@@ -7,6 +7,12 @@
 //	paperfigs fig3            # Fig. 3: min bandwidth for 80% efficiency
 //	paperfigs all             # everything
 //
+// The whole campaign runs through one repro.Session, so fig1 + fig2 +
+// fig3 share a single warm set of per-worker simulation arenas instead of
+// rebuilding them per figure, and SIGINT cancels gracefully: in-flight
+// workers drain, rows already printed stay flushed, and the command exits
+// non-zero.
+//
 // Candlesticks (mean, first/last decile, first/last quartile) follow the
 // paper's statistics; the theoretical lower bound of §4 accompanies each
 // sweep. -runs trades Monte-Carlo precision for time (the paper uses
@@ -14,27 +20,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro"
+	"repro/internal/cliutil"
 	"repro/internal/units"
 )
 
 type options struct {
-	runs     int
-	workers  int
-	seed     uint64
-	days     float64
-	channels int
-	quick    bool
-	tsv      bool
+	runs       int
+	workers    int
+	seed       uint64
+	days       float64
+	channels   int
+	quick      bool
+	tsv        bool
+	strategies []repro.Strategy
 }
 
 func main() {
 	opts := options{}
+	var strategySpec string
 	flag.IntVar(&opts.runs, "runs", 50, "Monte-Carlo replications per point (paper: 1000)")
 	flag.IntVar(&opts.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Uint64Var(&opts.seed, "seed", 1, "master random seed")
@@ -42,6 +53,8 @@ func main() {
 	flag.IntVar(&opts.channels, "channels", 1, "token-channel count k (paper: 1)")
 	flag.BoolVar(&opts.quick, "quick", false, "reduced sweeps and runs (smoke test)")
 	flag.BoolVar(&opts.tsv, "tsv", false, "emit tab-separated values")
+	flag.StringVar(&strategySpec, "strategies", "legend",
+		"strategy set per point: 'legend' (the §6 seven), 'all', or comma-separated names")
 	flag.Parse()
 
 	if opts.quick {
@@ -52,6 +65,22 @@ func main() {
 			opts.days = 20
 		}
 	}
+	var err error
+	opts.strategies, err = cliutil.Strategies(strategySpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := cliutil.InterruptContext()
+	defer cancel()
+	// One session serves the whole campaign: every figure's grid
+	// reconfigures the same warm per-worker arenas. Exact candlesticks
+	// need only the waste ratios; paper-scale -runs never materialises
+	// per-run Result structs.
+	session := repro.NewSession(
+		repro.WithWorkers(opts.workers),
+		repro.WithKeepWasteRatios(true),
+	)
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -61,16 +90,16 @@ func main() {
 	case "table1":
 		table1(opts)
 	case "fig1":
-		fig1(opts)
+		fig1(ctx, session, opts)
 	case "fig2":
-		fig2(opts)
+		fig2(ctx, session, opts)
 	case "fig3":
-		fig3(opts)
+		fig3(ctx, session, opts)
 	case "all":
 		table1(opts)
-		fig1(opts)
-		fig2(opts)
-		fig3(opts)
+		fig1(ctx, session, opts)
+		fig2(ctx, session, opts)
+		fig3(ctx, session, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown command %q (table1|fig1|fig2|fig3|all)\n", cmd)
 		os.Exit(2)
@@ -122,34 +151,34 @@ func table1(opts options) {
 	fmt.Println()
 }
 
-// runSweep evaluates a scenario grid over the base configuration through
-// the engine's arena-reusing Sweep driver — one set of per-worker
-// simulation arenas serves every (scenario × strategy) cell — printing one
-// row per strategy and the §4 theory bound after each scenario's block.
-// axisValue maps a sweep point to the printed x-axis figure.
-func runSweep(opts options, base repro.Config, grid repro.SweepGrid, axis string, axisValue func(repro.SweepPoint) float64) {
+// runSweep pulls a scenario grid through the shared session — one warm
+// set of per-worker simulation arenas serves every (scenario × strategy)
+// cell — printing one row per strategy and the §4 theory bound after each
+// scenario's block. axisValue maps a sweep point to the printed x-axis
+// figure.
+func runSweep(ctx context.Context, session *repro.Session, opts options, base repro.Config, grid repro.SweepGrid, axis string, axisValue func(repro.SweepPoint) float64) {
 	nStrats := len(grid.Strategies)
-	// Exact candlesticks from the waste ratios alone: paper-scale -runs
-	// never materialises per-run Result structs.
-	err := repro.Sweep(base, grid, opts.runs, opts.workers,
-		repro.MCOptions{KeepWasteRatios: true},
-		func(pt repro.SweepPoint, mc repro.MCResult) {
-			v := axisValue(pt)
-			s := mc.Summary
-			if opts.tsv {
-				fmt.Printf("%s\t%g\t%s\t%s\n", axis, v, mc.Strategy, s.TSVRow())
-			} else {
-				fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]\n",
-					axis, v, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90)
-			}
-			if (pt.Index+1)%nStrats == 0 {
-				p := base.Platform
-				p.BandwidthBps = pt.BandwidthBps
-				p.NodeMTBFSeconds = pt.NodeMTBFSeconds
-				theoryRow(opts, p, axis, v)
-			}
-		})
-	if err != nil {
+	points, errf := session.Sweep(ctx, base, grid, opts.runs)
+	for pt, mc := range points {
+		v := axisValue(pt)
+		s := mc.Summary
+		if opts.tsv {
+			fmt.Printf("%s\t%g\t%s\t%s\n", axis, v, mc.Strategy, s.TSVRow())
+		} else {
+			fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]\n",
+				axis, v, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90)
+		}
+		if (pt.Index+1)%nStrats == 0 {
+			p := base.Platform
+			p.BandwidthBps = pt.BandwidthBps
+			p.NodeMTBFSeconds = pt.NodeMTBFSeconds
+			theoryRow(opts, p, axis, v)
+		}
+	}
+	if err := errf(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			cliutil.ExitInterrupted("paperfigs", err)
+		}
 		fatal(err)
 	}
 }
@@ -171,7 +200,7 @@ func theoryRow(opts options, p repro.Platform, axis string, axisValue float64) {
 
 // fig1 reproduces Figure 1: waste ratio vs aggregated bandwidth on Cielo
 // with a 2-year node MTBF.
-func fig1(opts options) {
+func fig1(ctx context.Context, session *repro.Session, opts options) {
 	fmt.Println("== Figure 1: waste ratio vs system bandwidth (Cielo, node MTBF 2y) ==")
 	bws := []float64{40, 60, 80, 100, 120, 140, 160}
 	if opts.quick {
@@ -185,17 +214,17 @@ func fig1(opts options) {
 		HorizonDays: opts.days,
 		Channels:    opts.channels,
 	}
-	grid := repro.SweepGrid{Strategies: repro.LegendStrategies()}
+	grid := repro.SweepGrid{Strategies: opts.strategies}
 	for _, bw := range bws {
 		grid.BandwidthsBps = append(grid.BandwidthsBps, units.GBps(bw))
 	}
-	runSweep(opts, base, grid, "bandwidth_gbps",
+	runSweep(ctx, session, opts, base, grid, "bandwidth_gbps",
 		func(pt repro.SweepPoint) float64 { return pt.BandwidthBps / units.GB })
 	fmt.Printf("-- fig1 done in %v --\n\n", time.Since(start).Round(time.Second))
 }
 
 // fig2 reproduces Figure 2: waste ratio vs node MTBF on Cielo at 40 GB/s.
-func fig2(opts options) {
+func fig2(ctx context.Context, session *repro.Session, opts options) {
 	fmt.Println("== Figure 2: waste ratio vs node MTBF (Cielo, 40 GB/s) ==")
 	years := []float64{2, 5, 10, 20, 35, 50}
 	if opts.quick {
@@ -209,19 +238,19 @@ func fig2(opts options) {
 		HorizonDays: opts.days,
 		Channels:    opts.channels,
 	}
-	grid := repro.SweepGrid{Strategies: repro.LegendStrategies()}
+	grid := repro.SweepGrid{Strategies: opts.strategies}
 	for _, y := range years {
 		grid.NodeMTBFSeconds = append(grid.NodeMTBFSeconds, units.Years(y))
 	}
-	runSweep(opts, base, grid, "mtbf_years",
+	runSweep(ctx, session, opts, base, grid, "mtbf_years",
 		func(pt repro.SweepPoint) float64 { return pt.NodeMTBFSeconds / units.Year })
 	fmt.Printf("-- fig2 done in %v --\n\n", time.Since(start).Round(time.Second))
 }
 
 // fig3 reproduces Figure 3: the minimum aggregated bandwidth needed to
 // sustain 80% efficiency on the prospective system, per strategy and node
-// MTBF.
-func fig3(opts options) {
+// MTBF. Every bisection probe reconfigures the shared session's arenas.
+func fig3(ctx context.Context, session *repro.Session, opts options) {
 	fmt.Println("== Figure 3: min bandwidth for 80% efficiency (prospective system) ==")
 	years := []float64{5, 10, 15, 20, 25}
 	if opts.quick {
@@ -240,7 +269,7 @@ func fig3(opts options) {
 	loBps, hiBps := units.GBps(50), units.TBps(400)
 	start := time.Now()
 	for _, y := range years {
-		for _, strat := range repro.LegendStrategies() {
+		for _, strat := range opts.strategies {
 			cfg := repro.Config{
 				Platform:    repro.Prospective(1000, y),
 				Classes:     repro.APEXClasses(),
@@ -249,8 +278,11 @@ func fig3(opts options) {
 				HorizonDays: opts.days,
 				Channels:    opts.channels,
 			}
-			bw, err := repro.MinBandwidthForEfficiency(cfg, 0.8, loBps, hiBps, runs, opts.workers, steps)
+			bw, err := session.MinBandwidth(ctx, cfg, 0.8, loBps, hiBps, runs, steps)
 			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					cliutil.ExitInterrupted("paperfigs", err)
+				}
 				fmt.Printf("mtbf_years=%-4g %-18s unreachable (%v)\n", y, strat.Name(), err)
 				continue
 			}

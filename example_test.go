@@ -1,10 +1,45 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
+
+// ExampleNewSession runs a small campaign through one context-aware
+// Session: the Monte-Carlo experiment and the strategy comparison share
+// the session's warm per-worker arenas, and cancelling the context would
+// abort either at the next replicate boundary.
+func ExampleNewSession() {
+	ctx := context.Background()
+	session := repro.NewSession(repro.WithKeepWasteRatios(true))
+	cfg := repro.Config{
+		Platform:    repro.Cielo(40, 2),
+		Classes:     repro.APEXClasses(),
+		Strategy:    repro.LeastWaste(),
+		Seed:        1,
+		HorizonDays: 20,
+	}
+	mc, err := session.MonteCarlo(ctx, cfg, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs: %d\n", mc.Summary.N)
+	fmt.Printf("mean waste in (0,1): %v\n", mc.Summary.Mean > 0 && mc.Summary.Mean < 1)
+
+	results, err := session.Compare(ctx, cfg,
+		[]repro.Strategy{repro.ObliviousFixed(), repro.LeastWaste()}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cooperative beats oblivious: %v\n",
+		results[1].Summary.Mean < results[0].Summary.Mean)
+	// Output:
+	// runs: 4
+	// mean waste in (0,1): true
+	// cooperative beats oblivious: true
+}
 
 // ExampleLowerBound solves Theorem 1 on bandwidth-starved Cielo: the Daly
 // periods alone would oversubscribe the PFS, so the KKT multiplier

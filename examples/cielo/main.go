@@ -2,10 +2,13 @@
 // starved (40 GB/s) and a full (160 GB/s) parallel file system, run a
 // Monte-Carlo comparison of all seven scheduling strategies on the APEX
 // workload and show candlesticks against the theoretical bound, plus each
-// strategy's waste breakdown.
+// strategy's waste breakdown. Both bandwidth points run through one
+// repro.Session, so the second comparison reuses the first one's warm
+// simulation arenas.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,9 +16,11 @@ import (
 )
 
 func main() {
-	const (
-		runs    = 8 // the paper uses 1000; keep the example brisk
-		workers = 0 // all cores
+	const runs = 8 // the paper uses 1000; keep the example brisk
+	ctx := context.Background()
+	session := repro.NewSession(
+		repro.WithKeepResults(true), // breakdown() reads per-run results
+		repro.WithKeepWasteRatios(true),
 	)
 	for _, bwGBps := range []float64{40, 160} {
 		p := repro.Cielo(bwGBps, 2)
@@ -26,7 +31,7 @@ func main() {
 			Seed:        7,
 			HorizonDays: 30,
 		}
-		results, err := repro.CompareStrategies(base, repro.AllStrategies(), runs, workers)
+		results, err := session.Compare(ctx, base, repro.AllStrategies(), runs)
 		if err != nil {
 			log.Fatal(err)
 		}

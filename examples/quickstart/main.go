@@ -1,10 +1,13 @@
 // Quickstart: simulate the LANL APEX workload on Cielo under the paper's
 // Least-Waste cooperative checkpointing strategy and compare the measured
 // platform waste with the status quo (Oblivious-Fixed) and the §4
-// theoretical lower bound.
+// theoretical lower bound. Both runs go through one repro.Session — the
+// context-aware experiment driver that reuses its simulation arenas
+// across calls.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +26,12 @@ func main() {
 		HorizonDays: 20,
 	}
 
+	ctx := context.Background()
+	session := repro.NewSession()
 	for _, strategy := range []repro.Strategy{repro.ObliviousFixed(), repro.LeastWaste()} {
 		cfg := base
 		cfg.Strategy = strategy
-		res, err := repro.Run(cfg)
+		res, err := session.Run(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,7 +34,8 @@ type MCResult struct {
 
 // MCOptions selects what a Monte-Carlo experiment materialises. The zero
 // value is the fully streaming path: O(1) result memory regardless of the
-// replication count.
+// replication count. Session configures the same choices through the
+// WithKeepResults / WithKeepWasteRatios / WithOnResult options.
 type MCOptions struct {
 	// KeepResults retains every per-run Result in MCResult.Results —
 	// convenient for small experiments, O(runs) memory.
@@ -51,40 +53,51 @@ type MCOptions struct {
 
 // MonteCarlo runs the configuration `runs` times with independent seeds
 // derived from cfg.Seed and summarises the waste ratios. workers bounds
-// parallelism (0 means GOMAXPROCS). The per-run seed of run i is
-// independent of the total number of runs, so extending an experiment
-// reuses earlier runs' results exactly.
+// parallelism (0 means GOMAXPROCS).
+//
+// Deprecated: use Session.MonteCarlo on a Session built with
+// WithKeepResults(true) and WithKeepWasteRatios(true) — it adds
+// cancellation and arena reuse across calls. This shim runs a throwaway
+// Session and is pinned bit-identical to it.
 func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
-	return MonteCarloOpts(cfg, runs, workers, MCOptions{KeepResults: true, KeepWasteRatios: true})
+	return newSessionWith(workers, MCOptions{KeepResults: true, KeepWasteRatios: true}).
+		MonteCarlo(context.Background(), cfg, runs)
 }
 
 // MonteCarloStream is the O(1)-memory Monte-Carlo experiment: every run's
 // Result is streamed to fn (which may be nil) in run order and then
 // dropped; the returned MCResult carries only the online aggregates.
-// Replication counts are limited by patience, not memory.
+//
+// Deprecated: use Session.MonteCarlo on a Session built with
+// WithOnResult(fn). This shim runs a throwaway Session and is pinned
+// bit-identical to it.
 func MonteCarloStream(cfg Config, runs, workers int, fn func(i int, r Result)) (MCResult, error) {
-	return MonteCarloOpts(cfg, runs, workers, MCOptions{OnResult: fn})
+	return newSessionWith(workers, MCOptions{OnResult: fn}).
+		MonteCarlo(context.Background(), cfg, runs)
 }
 
-// MonteCarloOpts is the general Monte-Carlo driver: runs replications in
-// parallel, delivers results in deterministic run order, and aggregates
-// according to opts. All other Monte-Carlo entry points are thin wrappers
-// over it.
+// MonteCarloOpts is the general Monte-Carlo driver with explicit
+// materialisation options.
+//
+// Deprecated: use Session.MonteCarlo — the Session options express the
+// same choices, plus cancellation and arena reuse across calls. This shim
+// runs a throwaway Session and is pinned bit-identical to it.
 func MonteCarloOpts(cfg Config, runs, workers int, opts MCOptions) (MCResult, error) {
-	if runs <= 0 {
-		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
-	}
-	return monteCarloWith(make([]*Arena, normWorkers(runs, workers)), cfg, runs, opts)
+	return newSessionWith(workers, opts).MonteCarlo(context.Background(), cfg, runs)
 }
 
 // normWorkers resolves the worker count: 0 means GOMAXPROCS, and never
-// more workers than runs.
+// more workers than runs (never negative — an invalid run count resolves
+// to zero workers and is rejected by the core driver's validation).
 func normWorkers(runs, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > runs {
 		workers = runs
+	}
+	if workers < 0 {
+		workers = 0
 	}
 	return workers
 }
@@ -100,15 +113,25 @@ func replicateSeed(masterSeed uint64, i int) uint64 {
 	return r.Uint64()
 }
 
-// monteCarloWith is the core Monte-Carlo driver: one reusable Arena per
-// worker (created lazily into arenas, reconfigured in place when the slot
-// already holds one from an earlier scenario) with replicates delivered in
-// deterministic run order. Callers that evaluate several scenarios — Sweep,
-// the Figure 3 bisection — pass the same arenas slice each time, so the
-// whole grid reuses the per-worker simulation state.
-func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCResult, error) {
+// monteCarloWith is the core Monte-Carlo driver every entry point funnels
+// into: one reusable Arena per worker (created lazily into arenas,
+// reconfigured in place when the slot already holds one from an earlier
+// scenario) with replicates delivered in deterministic run order, and the
+// single home of the replication-count validation. Callers that evaluate
+// several scenarios — Session.Sweep, the Figure 3 bisection — pass the
+// same arenas slice each time, so the whole grid reuses the per-worker
+// simulation state.
+//
+// Cancellation is observed at replicate boundaries: once ctx is done no
+// new replicate starts, the dispatcher halts, in-flight workers drain,
+// and ctx.Err() is returned. Deliveries (OnResult, progress) made before
+// the cancellation was observed form an exact in-order prefix.
+func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, opts MCOptions, progress func(done int)) (MCResult, error) {
 	if runs <= 0 {
 		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
+	}
+	if err := ctx.Err(); err != nil {
+		return MCResult{}, err
 	}
 	workers := len(arenas)
 	if workers > runs {
@@ -123,6 +146,8 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 		i   int
 		r   Result
 		err error
+		// canceled marks a context error, delivered unwrapped.
+		canceled bool
 	}
 	next := make(chan int)
 	resCh := make(chan item, window)
@@ -131,6 +156,7 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 	// million-run experiment surfaces the error after ~window runs
 	// instead of simulating the full replication to completion.
 	stop := make(chan struct{})
+	done := ctx.Done()
 	dispatchedCh := make(chan int, 1)
 
 	var wg sync.WaitGroup
@@ -142,6 +168,12 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 			// scenario; point it at this one before the first replicate.
 			reconfigured := false
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					// Dispatched before the cancellation was observed:
+					// account for the index without simulating it.
+					resCh <- item{i: i, err: err, canceled: true}
+					continue
+				}
 				a := arenas[w]
 				var err error
 				switch {
@@ -149,10 +181,14 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 					if a, err = NewArena(cfg); err == nil {
 						arenas[w] = a
 						reconfigured = true
+					} else {
+						err = fmt.Errorf("worker %d: build arena: %w", w, err)
 					}
 				case !reconfigured:
 					if err = a.Reconfigure(cfg); err == nil {
 						reconfigured = true
+					} else {
+						err = fmt.Errorf("worker %d: reconfigure arena: %w", w, err)
 					}
 				}
 				var r Result
@@ -174,10 +210,14 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 			case gate <- struct{}{}:
 			case <-stop:
 				return
+			case <-done:
+				return
 			}
 			select {
 			case next <- i:
 			case <-stop:
+				return
+			case <-done:
 				return
 			}
 			dispatched++
@@ -195,12 +235,22 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 	var util, fails float64
 	var firstErr error
 
+	abort := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
+	}
 	deliver := func(it item) {
 		<-gate
+		if firstErr == nil && ctx.Err() != nil {
+			abort(ctx.Err())
+		}
 		if it.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("engine: run %d: %w", it.i, it.err)
-				close(stop)
+			if it.canceled {
+				abort(it.err)
+			} else {
+				abort(fmt.Errorf("engine: run %d: %w", it.i, it.err))
 			}
 			return
 		}
@@ -220,10 +270,13 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 		}
 		util += it.r.Utilization
 		fails += float64(it.r.Failures)
+		if progress != nil {
+			progress(it.i + 1)
+		}
 	}
 
 	// Consume exactly the dispatched results, delivering in run order;
-	// the dispatched count is only known early when stop fires.
+	// the dispatched count is only known early when stop or ctx fires.
 	pending := make(map[int]item, window)
 	nextIdx, received, dispatched := 0, 0, -1
 	for dispatched < 0 || received < dispatched {
@@ -246,6 +299,12 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 	}
 	wg.Wait()
 
+	if firstErr == nil && nextIdx < runs {
+		// The dispatcher halted early on ctx without any worker
+		// observing the cancellation (all dispatched runs completed
+		// cleanly): the experiment is still incomplete.
+		firstErr = ctx.Err()
+	}
 	if firstErr != nil {
 		return MCResult{}, firstErr
 	}
@@ -260,89 +319,35 @@ func monteCarloWith(arenas []*Arena, cfg Config, runs int, opts MCOptions) (MCRe
 }
 
 // CompareStrategies runs the same Monte-Carlo experiment for every given
-// strategy (each strategy sees identical per-run seeds, hence identical
-// job mixes and failure traces — the paired design of §5's comparisons).
+// strategy on identical per-run seeds — the paired design of §5's
+// comparisons.
+//
+// Deprecated: use Session.Compare on a Session built with
+// WithKeepResults(true) and WithKeepWasteRatios(true). This shim runs a
+// throwaway Session and is pinned bit-identical to it.
 func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([]MCResult, error) {
 	return CompareStrategiesOpts(base, strategies, runs, workers,
 		MCOptions{KeepResults: true, KeepWasteRatios: true})
 }
 
-// CompareStrategiesOpts is CompareStrategies with explicit materialisation
-// options — pass the zero MCOptions (or KeepWasteRatios alone for exact
-// candlesticks) to run paper-scale paired sweeps without holding per-run
-// results in memory. It is a one-axis Sweep, so the per-worker arenas are
-// reused across all strategies.
+// CompareStrategiesOpts is CompareStrategies with explicit
+// materialisation options.
+//
+// Deprecated: use Session.Compare — the Session options express the same
+// choices, plus cancellation and arena reuse across calls. This shim runs
+// a throwaway Session and is pinned bit-identical to it.
 func CompareStrategiesOpts(base Config, strategies []Strategy, runs, workers int, opts MCOptions) ([]MCResult, error) {
-	out := make([]MCResult, 0, len(strategies))
-	if len(strategies) == 0 {
-		return out, nil
-	}
-	err := Sweep(base, SweepGrid{Strategies: strategies}, runs, workers, opts,
-		func(_ SweepPoint, mc MCResult) { out = append(out, mc) })
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return newSessionWith(workers, opts).Compare(context.Background(), base, strategies, runs)
 }
 
-// MinBandwidthForEfficiency searches the smallest aggregated bandwidth (in
-// bytes/s, within [loBps, hiBps]) at which the strategy's mean waste ratio
-// stays at or below 1-targetEfficiency — the Figure 3 experiment ("the
-// required aggregated practical bandwidth necessary to provide a sustained
-// 80% efficiency"). The mean waste is monotone in bandwidth up to
-// Monte-Carlo noise; `runs` controls that noise, `steps` the bisection
-// depth. Each probe streams its replications (the accumulator's mean is
-// the same ordered sum as the batch path, so the bisection decisions are
-// bit-identical), keeping the whole search O(1) in memory.
+// MinBandwidthForEfficiency bisects for the smallest PFS bandwidth
+// (bytes/s) at which the strategy sustains the target efficiency — the
+// Figure 3 experiment.
+//
+// Deprecated: use Session.MinBandwidth — same bisection, plus
+// cancellation and arena reuse across calls. This shim runs a throwaway
+// Session and is pinned bit-identical to it.
 func MinBandwidthForEfficiency(cfg Config, targetEfficiency float64, loBps, hiBps float64, runs, workers, steps int) (float64, error) {
-	if targetEfficiency <= 0 || targetEfficiency >= 1 {
-		return 0, fmt.Errorf("engine: target efficiency %v outside (0,1)", targetEfficiency)
-	}
-	if loBps <= 0 || hiBps <= loBps {
-		return 0, fmt.Errorf("engine: invalid bandwidth bracket [%v, %v]", loBps, hiBps)
-	}
-	if steps <= 0 {
-		steps = 12
-	}
-	maxWaste := 1 - targetEfficiency
-	// One arena set serves every probe of the bisection: each bandwidth
-	// evaluation reconfigures the per-worker arenas instead of rebuilding
-	// the simulation state from scratch.
-	arenas := make([]*Arena, normWorkers(runs, workers))
-	meanWaste := func(bps float64) (float64, error) {
-		c := cfg
-		c.Platform.BandwidthBps = bps
-		mc, err := monteCarloWith(arenas, c, runs, MCOptions{})
-		if err != nil {
-			return 0, err
-		}
-		return mc.Summary.Mean, nil
-	}
-	w, err := meanWaste(hiBps)
-	if err != nil {
-		return 0, err
-	}
-	if w > maxWaste {
-		return 0, fmt.Errorf("engine: %s cannot reach %.0f%% efficiency below %v B/s (waste %.3f)",
-			cfg.Strategy.Name(), targetEfficiency*100, hiBps, w)
-	}
-	if w, err := meanWaste(loBps); err != nil {
-		return 0, err
-	} else if w <= maxWaste {
-		return loBps, nil
-	}
-	lo, hi := loBps, hiBps
-	for i := 0; i < steps; i++ {
-		mid := (lo + hi) / 2
-		w, err := meanWaste(mid)
-		if err != nil {
-			return 0, err
-		}
-		if w > maxWaste {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return hi, nil
+	return newSessionWith(workers, MCOptions{}).
+		MinBandwidth(context.Background(), cfg, targetEfficiency, loBps, hiBps, runs, steps)
 }

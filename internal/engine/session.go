@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"iter"
+)
+
+// Session is the experiment driver: one context-aware entry point for
+// everything the paper's evaluation pipeline does — single runs,
+// Monte-Carlo replication, paired strategy comparisons, scenario-grid
+// sweeps and the Figure 3 bandwidth bisection. A Session owns a pool of
+// per-worker simulation arenas for its whole lifetime, so a campaign that
+// chains several experiments (fig1 + fig2 + fig3, or a long bisection)
+// reuses one warm set of pools instead of rebuilding the simulation state
+// per entry point.
+//
+// Every method takes a context.Context and honours cancellation and
+// deadlines at replicate boundaries: no new replicate starts once the
+// context is done, in-flight workers drain, and the method returns
+// ctx.Err() without leaking goroutines. Results delivered through
+// WithOnResult before the cancellation was observed form an exact,
+// in-order prefix of the experiment.
+//
+// A Session is not safe for concurrent use: its arenas are single-owner
+// workspaces. Run concurrent campaigns from separate Sessions.
+//
+// The zero-argument NewSession() is ready to use: GOMAXPROCS workers and
+// the fully streaming O(1)-memory aggregation path.
+type Session struct {
+	// workers bounds parallelism (0 means GOMAXPROCS); the effective
+	// worker count of an experiment never exceeds its replication count.
+	workers int
+	// opts selects what experiments materialise (see MCOptions).
+	opts MCOptions
+	// progress, when set, observes campaign progress as (done, total)
+	// replicate counts on the caller's goroutine.
+	progress func(done, total int)
+	// arenas is the per-worker pool, grown on demand and retained for the
+	// Session's lifetime. Slot w belongs to worker w; an arena configured
+	// for an earlier scenario is reconfigured in place, never rebuilt.
+	arenas []*Arena
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// WithWorkers bounds an experiment's parallelism to n goroutines. Zero or
+// negative means GOMAXPROCS (the default). The per-run results do not
+// depend on the worker count: run i's seed is a pure function of the
+// configuration seed and i.
+func WithWorkers(n int) SessionOption {
+	return func(s *Session) { s.workers = n }
+}
+
+// WithKeepResults retains every per-run Result in MCResult.Results —
+// convenient for small experiments, O(runs) memory.
+func WithKeepResults(keep bool) SessionOption {
+	return func(s *Session) { s.opts.KeepResults = keep }
+}
+
+// WithKeepWasteRatios retains the per-run waste ratios and computes each
+// Summary by the exact sorted path (bit-identical to the classic batch
+// API) at 8 bytes per run. Without it the Summary comes from the online
+// stats.Accumulator in O(1) memory.
+func WithKeepWasteRatios(keep bool) SessionOption {
+	return func(s *Session) { s.opts.KeepWasteRatios = keep }
+}
+
+// WithOnResult streams every run's Result to fn in strict run order
+// (i ascending, 0-based) on the caller's goroutine, then drops it —
+// the O(1)-memory observation hook.
+func WithOnResult(fn func(i int, r Result)) SessionOption {
+	return func(s *Session) { s.opts.OnResult = fn }
+}
+
+// WithProgress reports campaign progress to fn as (done, total) replicate
+// counts, on the caller's goroutine. Within MonteCarlo the total is the
+// replication count; within Sweep and Compare it spans the whole grid
+// (points × runs), so one callback renders a whole-campaign progress bar.
+// MinBandwidth does not report progress: its bisection probes are an
+// open-ended search, not a campaign with a known total.
+func WithProgress(fn func(done, total int)) SessionOption {
+	return func(s *Session) { s.progress = fn }
+}
+
+// NewSession builds an experiment driver. The arena pool starts empty and
+// is populated lazily by the first experiment; it is retained across
+// calls for the Session's lifetime.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// newSessionWith is the shim constructor: a throwaway Session carrying a
+// legacy (workers, MCOptions) pair verbatim.
+func newSessionWith(workers int, opts MCOptions) *Session {
+	return &Session{workers: workers, opts: opts}
+}
+
+// arenasFor returns the per-worker arena slice for an experiment of the
+// given replication count, growing the session pool when the experiment
+// needs more workers than any before it. Slots keep their arenas across
+// calls — that is the whole point of a Session.
+func (s *Session) arenasFor(runs int) []*Arena {
+	w := normWorkers(runs, s.workers)
+	for len(s.arenas) < w {
+		s.arenas = append(s.arenas, nil)
+	}
+	return s.arenas[:w]
+}
+
+// Run executes one simulation of the configuration through the session
+// pool (worker 0's arena, built or reconfigured in place) and returns its
+// measurements. The result is bit-identical to the package-level Run. A
+// done context returns ctx.Err() before the simulation starts; a
+// single simulation is not interrupted mid-run.
+func (s *Session) Run(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	arenas := s.arenasFor(1)
+	if arenas[0] == nil {
+		a, err := NewArena(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		arenas[0] = a
+	} else if err := arenas[0].Reconfigure(cfg); err != nil {
+		return Result{}, err
+	}
+	return arenas[0].Run(cfg.Seed)
+}
+
+// MonteCarlo replicates the configuration over `runs` independent seeds
+// (derived from cfg.Seed and the run index, so extending an experiment
+// reuses earlier runs' results exactly) and aggregates the waste ratios
+// according to the session's options. Results are delivered in strict run
+// order. Cancelling ctx stops dispatch at the next replicate boundary,
+// drains the workers and returns ctx.Err().
+func (s *Session) MonteCarlo(ctx context.Context, cfg Config, runs int) (MCResult, error) {
+	return s.monteCarlo(ctx, cfg, runs, s.opts, 0, runs)
+}
+
+// monteCarlo runs one experiment against the session pool, offsetting the
+// progress report into a campaign of `total` replicates.
+func (s *Session) monteCarlo(ctx context.Context, cfg Config, runs int, opts MCOptions, doneBase, total int) (MCResult, error) {
+	var progress func(done int)
+	if s.progress != nil {
+		progress = func(done int) { s.progress(doneBase+done, total) }
+	}
+	return monteCarloWith(ctx, s.arenasFor(runs), cfg, runs, opts, progress)
+}
+
+// Sweep evaluates the same Monte-Carlo experiment at every point of the
+// grid over the base configuration, yielding (point, result) pairs in
+// grid order as a pull iterator: each point is computed on demand, so
+// breaking out of the range loop stops the remaining grid. Every point
+// reconfigures the session's warm arenas instead of rebuilding them, and
+// every point sees the same per-run seed sequence, making all comparisons
+// across the grid paired.
+//
+// The iterator cannot carry an error in its yield signature; the second
+// return value reports it. A failure (including ctx.Err() on
+// cancellation) ends the iteration early, and the error function returns
+// the cause once iteration has stopped:
+//
+//	points, err := session.Sweep(ctx, base, grid, runs)
+//	for pt, mc := range points {
+//		// consume, or break early
+//	}
+//	if err() != nil { ... }
+//
+// The sequence is single-use: re-ranging it re-runs the experiments.
+func (s *Session) Sweep(ctx context.Context, base Config, grid SweepGrid, runs int) (iter.Seq2[SweepPoint, MCResult], func() error) {
+	var err error
+	seq := func(yield func(SweepPoint, MCResult) bool) {
+		err = nil
+		pts := grid.Points(base)
+		total := len(pts) * runs
+		for _, pt := range pts {
+			mc, e := s.monteCarlo(ctx, pt.apply(base), runs, s.opts, pt.Index*runs, total)
+			if e != nil {
+				err = fmt.Errorf("engine: sweep point %d (%s): %w", pt.Index, pt.Strategy.Name(), e)
+				return
+			}
+			if !yield(pt, mc) {
+				return
+			}
+		}
+	}
+	return seq, func() error { return err }
+}
+
+// Compare runs the same Monte-Carlo experiment for every given strategy —
+// each strategy sees identical per-run seeds, hence identical job mixes
+// and failure traces (the paired design of §5's comparisons) — through
+// the session's warm arenas, returning one MCResult per strategy in
+// order.
+func (s *Session) Compare(ctx context.Context, base Config, strategies []Strategy, runs int) ([]MCResult, error) {
+	out := make([]MCResult, 0, len(strategies))
+	if len(strategies) == 0 {
+		return out, nil
+	}
+	points, errf := s.Sweep(ctx, base, SweepGrid{Strategies: strategies}, runs)
+	for _, mc := range points {
+		out = append(out, mc)
+	}
+	if err := errf(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MinBandwidth searches the smallest aggregated bandwidth (in bytes/s,
+// within [loBps, hiBps]) at which the strategy's mean waste ratio stays
+// at or below 1-targetEfficiency — the Figure 3 experiment ("the required
+// aggregated practical bandwidth necessary to provide a sustained 80%
+// efficiency"). The mean waste is monotone in bandwidth up to Monte-Carlo
+// noise; `runs` controls that noise, `steps` the bisection depth (<= 0
+// selects 12). Every probe of the bisection reconfigures the session's
+// warm arenas and streams its replications in O(1) memory; the
+// accumulator's mean is the same ordered sum as the batch path, so the
+// bisection decisions are bit-identical to materialising every run. The
+// probes bypass the session's WithOnResult and WithProgress hooks: the
+// probe count is search-dependent, so there is no campaign total to
+// report against.
+func (s *Session) MinBandwidth(ctx context.Context, cfg Config, targetEfficiency, loBps, hiBps float64, runs, steps int) (float64, error) {
+	if targetEfficiency <= 0 || targetEfficiency >= 1 {
+		return 0, fmt.Errorf("engine: target efficiency %v outside (0,1)", targetEfficiency)
+	}
+	if loBps <= 0 || hiBps <= loBps {
+		return 0, fmt.Errorf("engine: invalid bandwidth bracket [%v, %v]", loBps, hiBps)
+	}
+	if steps <= 0 {
+		steps = 12
+	}
+	maxWaste := 1 - targetEfficiency
+	// Bisection probes stream through the lean path regardless of the
+	// session's materialisation options: only the mean decides, and the
+	// per-run hooks are experiment observers, not probe observers.
+	meanWaste := func(bps float64) (float64, error) {
+		c := cfg
+		c.Platform.BandwidthBps = bps
+		mc, err := monteCarloWith(ctx, s.arenasFor(runs), c, runs, MCOptions{}, nil)
+		if err != nil {
+			return 0, err
+		}
+		return mc.Summary.Mean, nil
+	}
+	w, err := meanWaste(hiBps)
+	if err != nil {
+		return 0, err
+	}
+	if w > maxWaste {
+		return 0, fmt.Errorf("engine: %s cannot reach %.0f%% efficiency below %v B/s (waste %.3f)",
+			cfg.Strategy.Name(), targetEfficiency*100, hiBps, w)
+	}
+	if w, err := meanWaste(loBps); err != nil {
+		return 0, err
+	} else if w <= maxWaste {
+		return loBps, nil
+	}
+	lo, hi := loBps, hiBps
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		w, err := meanWaste(mid)
+		if err != nil {
+			return 0, err
+		}
+		if w > maxWaste {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

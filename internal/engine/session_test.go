@@ -1,0 +1,458 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// checkNoGoroutineLeak waits for the goroutine count to settle back to
+// the pre-experiment level: a cancelled campaign must drain its workers
+// and dispatcher, not abandon them.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d running, %d before experiment\n%s",
+				runtime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSessionCancelMonteCarlo pins the cancellation contract: cancelling
+// mid-experiment returns ctx.Err() promptly (a 10k-replicate experiment
+// ends after a handful of runs), the results delivered before the
+// cancellation form an exact in-order prefix, and no goroutine leaks.
+func TestSessionCancelMonteCarlo(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const cancelAfter = 5
+	var delivered []int
+	s := NewSession(
+		WithWorkers(4),
+		WithOnResult(func(i int, r Result) {
+			delivered = append(delivered, i)
+			if len(delivered) == cancelAfter {
+				cancel()
+			}
+		}),
+	)
+	_, err := s.MonteCarlo(ctx, tinyConfig(OrderedNBDaly(), 3), 10_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MonteCarlo returned %v, want context.Canceled", err)
+	}
+	// The delivery loop observes the cancellation before the next
+	// delivery, so the prefix is exact: runs 0..cancelAfter-1, in order.
+	if len(delivered) != cancelAfter {
+		t.Fatalf("delivered %d results after cancellation, want exactly %d", len(delivered), cancelAfter)
+	}
+	for i, d := range delivered {
+		if d != i {
+			t.Fatalf("delivery order %v is not the in-order prefix", delivered)
+		}
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestSessionCancelSweep: cancelling between grid points stops the pull
+// iterator at the next point, errf reports ctx.Err() wrapped with the
+// aborted point, and the workers drain.
+func TestSessionCancelSweep(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s := NewSession(WithWorkers(2))
+	points, errf := s.Sweep(ctx, tinyConfig(OrderedDaly(), 5), SweepGrid{Strategies: AllStrategies()}, 3)
+	seen := 0
+	for range points {
+		seen++
+		if seen == 2 {
+			cancel()
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("iterator yielded %d points after cancellation, want 2", seen)
+	}
+	err := errf()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Sweep error = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "sweep point 2") {
+		t.Errorf("error %q does not name the aborted point", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestSessionDeadline: an expiring deadline mid-experiment surfaces
+// context.DeadlineExceeded through the same path as an explicit cancel.
+func TestSessionDeadline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	s := NewSession(WithWorkers(2))
+	_, err := s.MonteCarlo(ctx, tinyConfig(LeastWaste(), 1), 100_000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline MonteCarlo returned %v, want context.DeadlineExceeded", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestSessionSweepEarlyBreak: breaking out of the range loop stops the
+// remaining grid without an error — the pull-iterator contract.
+func TestSessionSweepEarlyBreak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := NewSession(WithWorkers(2))
+	points, errf := s.Sweep(context.Background(), tinyConfig(OrderedNBDaly(), 9),
+		SweepGrid{Strategies: AllStrategies()}, 2)
+	seen := 0
+	for range points {
+		seen++
+		if seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("iterator yielded %d points, want 3 before break", seen)
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("early break reported error %v", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestSessionMonteCarloShimBitIdentity pins every registered strategy:
+// the deprecated MonteCarlo shim and a Session with the matching options
+// produce byte-identical MCResults, and a second call on the same warm
+// session (reusing the arenas) stays identical.
+func TestSessionMonteCarloShimBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	for _, strat := range AllStrategies() {
+		t.Run(strat.Name(), func(t *testing.T) {
+			cfg := tinyConfig(strat, 23)
+			legacy, err := MonteCarlo(cfg, 4, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSession(WithWorkers(2), WithKeepResults(true), WithKeepWasteRatios(true))
+			got, err := s.MonteCarlo(ctx, cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(legacy, got) {
+				t.Fatalf("Session diverged from legacy MonteCarlo:\n legacy  %+v\n session %+v", legacy, got)
+			}
+			again, err := s.MonteCarlo(ctx, cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(legacy, again) {
+				t.Fatalf("warm-session rerun diverged:\n legacy %+v\n again  %+v", legacy, again)
+			}
+		})
+	}
+}
+
+// TestSessionRunShimBitIdentity: Session.Run equals the legacy Run for
+// every registered strategy, including after the session arena has been
+// dirtied by a different scenario.
+func TestSessionRunShimBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession()
+	for _, strat := range AllStrategies() {
+		cfg := tinyConfig(strat, 31)
+		legacy, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		// The session arena carries the previous strategy's scenario;
+		// Run must reconfigure it and still match a fresh build.
+		got, err := s.Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if !reflect.DeepEqual(legacy, got) {
+			t.Fatalf("%s: Session.Run diverged from Run:\n fresh   %+v\n session %+v", strat.Name(), legacy, got)
+		}
+	}
+}
+
+// TestSessionStreamShimBitIdentity: the deprecated MonteCarloStream shim
+// and a Session with WithOnResult deliver identical ordered streams and
+// aggregates.
+func TestSessionStreamShimBitIdentity(t *testing.T) {
+	cfg := tinyConfig(LeastWaste(), 77)
+	var legacyStream []float64
+	legacy, err := MonteCarloStream(cfg, 8, 3, func(i int, r Result) {
+		legacyStream = append(legacyStream, r.WasteRatio)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessionStream []float64
+	s := NewSession(WithWorkers(3), WithOnResult(func(i int, r Result) {
+		sessionStream = append(sessionStream, r.WasteRatio)
+	}))
+	got, err := s.MonteCarlo(context.Background(), cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacyStream, sessionStream) {
+		t.Fatalf("streams diverged:\n legacy  %v\n session %v", legacyStream, sessionStream)
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Fatalf("aggregates diverged:\n legacy  %+v\n session %+v", legacy, got)
+	}
+}
+
+// TestSessionSweepShimBitIdentity: the deprecated callback Sweep and the
+// Session pull iterator walk the same grid — every registered strategy
+// times a bandwidth axis — with byte-identical points and results.
+func TestSessionSweepShimBitIdentity(t *testing.T) {
+	base := tinyConfig(OrderedDaly(), 41)
+	grid := SweepGrid{
+		BandwidthsBps: []float64{units.GBps(0.25), units.GBps(0.5)},
+		Strategies:    AllStrategies(),
+	}
+	const runs = 2
+	opts := MCOptions{KeepWasteRatios: true}
+
+	var legacyPts []SweepPoint
+	var legacyMCs []MCResult
+	if err := Sweep(base, grid, runs, 2, opts, func(pt SweepPoint, mc MCResult) {
+		legacyPts = append(legacyPts, pt)
+		legacyMCs = append(legacyMCs, mc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(WithWorkers(2), WithKeepWasteRatios(true))
+	var gotPts []SweepPoint
+	var gotMCs []MCResult
+	points, errf := s.Sweep(context.Background(), base, grid, runs)
+	for pt, mc := range points {
+		gotPts = append(gotPts, pt)
+		gotMCs = append(gotMCs, mc)
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacyPts, gotPts) {
+		t.Fatalf("sweep points diverged:\n legacy  %+v\n session %+v", legacyPts, gotPts)
+	}
+	if !reflect.DeepEqual(legacyMCs, gotMCs) {
+		t.Fatal("sweep results diverged from the legacy callback driver")
+	}
+}
+
+// TestSessionCompareShimBitIdentity: the deprecated CompareStrategies
+// shim equals Session.Compare across every registered strategy.
+func TestSessionCompareShimBitIdentity(t *testing.T) {
+	base := tinyConfig(Strategy{}, 53)
+	strategies := AllStrategies()
+	legacy, err := CompareStrategies(base, strategies, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(WithWorkers(2), WithKeepResults(true), WithKeepWasteRatios(true))
+	got, err := s.Compare(context.Background(), base, strategies, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Fatal("Session.Compare diverged from legacy CompareStrategies")
+	}
+}
+
+// TestSessionMinBandwidthShimBitIdentity: the deprecated bisection shim
+// and Session.MinBandwidth land on the same bandwidth, probe for probe.
+func TestSessionMinBandwidthShimBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisection search in -short mode")
+	}
+	cfg := tinyConfig(OrderedNBDaly(), 19)
+	cfg.HorizonDays = 4
+	cfg.Gen.MinDays = 4
+	const (
+		target = 0.6
+		lo, hi = 0.05e9, 50e9
+		runs   = 2
+		steps  = 5
+	)
+	legacy, err := MinBandwidthForEfficiency(cfg, target, lo, hi, runs, 2, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(WithWorkers(2))
+	got, err := s.MinBandwidth(context.Background(), cfg, target, lo, hi, runs, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != got {
+		t.Fatalf("Session.MinBandwidth = %v, legacy = %v (must be bit-identical)", got, legacy)
+	}
+}
+
+// TestSessionCampaignArenaReuse chains heterogeneous experiments through
+// one session — Run, MonteCarlo, a grid sweep, then MonteCarlo on the
+// first scenario again — and pins each stage against an independent
+// fresh evaluation: the warm pool must be reconfigured, never leak state.
+func TestSessionCampaignArenaReuse(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession(WithWorkers(2), WithKeepWasteRatios(true))
+
+	cfgA := tinyConfig(LeastWaste(), 61)
+	cfgB := tinyConfig(OrderedFixed(), 61)
+	cfgB.Platform = tinyPlatform(0.25, 0.5)
+
+	wantRun := mustRun(t, cfgB)
+	gotRun, err := s.Run(ctx, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantRun, gotRun) {
+		t.Fatal("campaign stage 1 (Run) diverged from fresh evaluation")
+	}
+
+	wantMC, err := MonteCarloOpts(cfgA, 3, 2, MCOptions{KeepWasteRatios: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMC, err := s.MonteCarlo(ctx, cfgA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantMC, gotMC) {
+		t.Fatal("campaign stage 2 (MonteCarlo) diverged from fresh evaluation")
+	}
+
+	grid := SweepGrid{Strategies: []Strategy{OrderedNBDaly(), RandomDaly()}}
+	points, errf := s.Sweep(ctx, cfgB, grid, 2)
+	for pt, mc := range points {
+		cfg := pt.apply(cfgB)
+		want, err := MonteCarloOpts(cfg, 2, 2, MCOptions{KeepWasteRatios: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, mc) {
+			t.Fatalf("campaign stage 3 (Sweep point %d) diverged from fresh evaluation", pt.Index)
+		}
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotAgain, err := s.MonteCarlo(ctx, cfgA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantMC, gotAgain) {
+		t.Fatal("campaign stage 4 (MonteCarlo revisit) diverged after the pool served other scenarios")
+	}
+}
+
+// TestSessionProgress: WithProgress observes every replicate of a
+// campaign — monotone (done, total) pairs ending at completion, with
+// Sweep totals spanning the whole grid.
+func TestSessionProgress(t *testing.T) {
+	var dones []int
+	var lastTotal int
+	s := NewSession(WithWorkers(2), WithProgress(func(done, total int) {
+		dones = append(dones, done)
+		lastTotal = total
+	}))
+	ctx := context.Background()
+
+	if _, err := s.MonteCarlo(ctx, tinyConfig(OrderedNBDaly(), 7), 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != 5 || dones[len(dones)-1] != 5 || lastTotal != 5 {
+		t.Fatalf("MonteCarlo progress = %v (total %d), want 1..5 of 5", dones, lastTotal)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress not monotone per run: %v", dones)
+		}
+	}
+
+	dones = nil
+	grid := SweepGrid{Strategies: []Strategy{OrderedDaly(), LeastWaste(), RandomDaly()}}
+	points, errf := s.Sweep(ctx, tinyConfig(Strategy{}, 7), grid, 2)
+	for range points {
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != 6 || dones[len(dones)-1] != 6 || lastTotal != 6 {
+		t.Fatalf("Sweep progress = %v (total %d), want 1..6 of 6", dones, lastTotal)
+	}
+}
+
+// TestSessionWorkerErrorAttribution: arena build failures carry the
+// worker index and the run that surfaced them.
+func TestSessionWorkerErrorAttribution(t *testing.T) {
+	bad := tinyConfig(OrderedDaly(), 1)
+	bad.Platform.Nodes = 0
+	_, err := NewSession(WithWorkers(2)).MonteCarlo(context.Background(), bad, 4)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if !strings.Contains(err.Error(), "worker ") || !strings.Contains(err.Error(), "build arena") {
+		t.Fatalf("error %q does not attribute the failing worker", err)
+	}
+}
+
+// TestSessionRunsValidation: the replication-count validation lives in
+// one place and still guards every entry point.
+func TestSessionRunsValidation(t *testing.T) {
+	ctx := context.Background()
+	cfg := tinyConfig(OrderedDaly(), 1)
+	s := NewSession()
+	if _, err := s.MonteCarlo(ctx, cfg, 0); err == nil {
+		t.Fatal("Session.MonteCarlo accepted zero runs")
+	}
+	if _, err := MonteCarloOpts(cfg, -3, 1, MCOptions{}); err == nil {
+		t.Fatal("MonteCarloOpts accepted negative runs")
+	}
+	points, errf := s.Sweep(ctx, cfg, SweepGrid{}, 0)
+	for range points {
+		t.Fatal("zero-run sweep yielded a point")
+	}
+	if errf() == nil {
+		t.Fatal("Session.Sweep accepted zero runs")
+	}
+}
+
+// TestSessionPreCancelledContext: an already-done context fails fast on
+// every method without starting any simulation.
+func TestSessionPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSession()
+	cfg := tinyConfig(LeastWaste(), 2)
+	if _, err := s.Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on cancelled ctx: %v", err)
+	}
+	if _, err := s.MonteCarlo(ctx, cfg, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MonteCarlo on cancelled ctx: %v", err)
+	}
+	if _, err := s.Compare(ctx, cfg, AllStrategies()[:2], 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Compare on cancelled ctx: %v", err)
+	}
+	if _, err := s.MinBandwidth(ctx, cfg, 0.6, 1e9, 1e12, 2, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MinBandwidth on cancelled ctx: %v", err)
+	}
+}

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/failure"
 )
@@ -118,25 +118,19 @@ func (pt SweepPoint) apply(base Config) Config {
 
 // Sweep runs the same Monte-Carlo experiment at every point of the grid,
 // streaming each point's MCResult to fn (which may be nil) in grid order.
-// One set of per-worker arenas serves the whole grid — each point
-// reconfigures them instead of rebuilding the simulation state — so a
-// multi-hundred-point parameter study pays the setup cost of a single
-// experiment. Every point sees the same per-run seed sequence (derived
-// from base.Seed), making all comparisons across the grid paired.
-// Aggregation per point follows opts, exactly as MonteCarloOpts.
+// One set of per-worker arenas serves the whole grid. Aggregation per
+// point follows opts, exactly as MonteCarloOpts.
+//
+// Deprecated: use Session.Sweep — the same grid evaluated through a warm
+// session pool, returned as a pull iterator that supports cancellation
+// and early exit. This shim runs a throwaway Session and is pinned
+// bit-identical to it.
 func Sweep(base Config, grid SweepGrid, runs, workers int, opts MCOptions, fn func(SweepPoint, MCResult)) error {
-	if runs <= 0 {
-		return fmt.Errorf("engine: non-positive run count %d", runs)
-	}
-	arenas := make([]*Arena, normWorkers(runs, workers))
-	for _, pt := range grid.Points(base) {
-		mc, err := monteCarloWith(arenas, pt.apply(base), runs, opts)
-		if err != nil {
-			return fmt.Errorf("engine: sweep point %d (%s): %w", pt.Index, pt.Strategy.Name(), err)
-		}
+	points, errf := newSessionWith(workers, opts).Sweep(context.Background(), base, grid, runs)
+	for pt, mc := range points {
 		if fn != nil {
 			fn(pt, mc)
 		}
 	}
-	return nil
+	return errf()
 }

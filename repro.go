@@ -21,14 +21,36 @@
 //
 // # Quick start
 //
+// A Session is the experiment driver: it owns a warm pool of per-worker
+// simulation arenas for its lifetime, and every method takes a
+// context.Context so long campaigns are abortable.
+//
 //	cfg := repro.Config{
 //		Platform: repro.Cielo(40, 2),      // 40 GB/s PFS, 2-year node MTBF
 //		Classes:  repro.APEXClasses(),     // Table 1 workload
 //		Strategy: repro.LeastWaste(),
 //		Seed:     1,
 //	}
-//	res, err := repro.Run(cfg)             // one 60-day simulation
-//	mc, err := repro.MonteCarlo(cfg, 100, 0) // candlestick over 100 runs
+//	ctx := context.Background()
+//	s := repro.NewSession(repro.WithKeepWasteRatios(true))
+//	res, err := s.Run(ctx, cfg)               // one 60-day simulation
+//	mc, err := s.MonteCarlo(ctx, cfg, 100)    // candlestick over 100 runs
+//
+//	// A scenario grid yields a pull iterator; every point reuses the
+//	// session's arenas, and breaking out stops the remaining grid.
+//	points, errf := s.Sweep(ctx, cfg, repro.SweepGrid{
+//		BandwidthsBps: []float64{40e9, 80e9, 160e9},
+//		Strategies:    repro.LegendStrategies(),
+//	}, 100)
+//	for pt, mc := range points {
+//		_ = pt
+//		_ = mc
+//	}
+//	err = errf()
+//
+// The package-level Run/MonteCarlo*/Sweep/CompareStrategies*/
+// MinBandwidthForEfficiency functions remain as deprecated shims over a
+// throwaway Session, pinned bit-identical to the Session methods.
 //
 // The exported identifiers are aliases over the internal packages, so the
 // whole public surface lives here; see DESIGN.md for the architecture and
@@ -71,8 +93,17 @@ type (
 	// MCResult aggregates a Monte-Carlo experiment.
 	MCResult = engine.MCResult
 	// MCOptions selects what a Monte-Carlo experiment materialises; the
-	// zero value is the fully streaming O(1)-memory path.
+	// zero value is the fully streaming O(1)-memory path. New code should
+	// express the same choices as Session options.
 	MCOptions = engine.MCOptions
+	// Session is the context-aware experiment driver: one warm per-worker
+	// arena pool shared by Run, MonteCarlo, Sweep, Compare and
+	// MinBandwidth for the session's lifetime. Not safe for concurrent
+	// use.
+	Session = engine.Session
+	// SessionOption configures a Session at construction (WithWorkers,
+	// WithKeepResults, WithKeepWasteRatios, WithOnResult, WithProgress).
+	SessionOption = engine.SessionOption
 	// Arena is a reusable simulation workspace: built once, re-seeded per
 	// replicate, so steady-state Monte-Carlo replicates allocate near
 	// zero. Replicates are bit-identical to fresh Run calls.
@@ -243,8 +274,37 @@ func StrategyNames() []string { return engine.StrategyNames() }
 // every driver picks it up by name. Registration is meant for init time.
 func RegisterStrategy(name string, mk func() Strategy) { engine.RegisterStrategy(name, mk) }
 
-// Run executes one simulation (a single-use Arena under the hood; hold a
-// NewArena when replicating the same scenario many times).
+// NewSession builds an experiment driver: a warm per-worker arena pool
+// plus functional options, shared by every experiment the session runs.
+// The zero-argument form is ready to use (GOMAXPROCS workers, fully
+// streaming O(1)-memory aggregation).
+func NewSession(opts ...SessionOption) *Session { return engine.NewSession(opts...) }
+
+// WithWorkers bounds an experiment's parallelism (0 = GOMAXPROCS). The
+// per-run results do not depend on the worker count.
+func WithWorkers(n int) SessionOption { return engine.WithWorkers(n) }
+
+// WithKeepResults retains every per-run Result in MCResult.Results
+// (O(runs) memory).
+func WithKeepResults(keep bool) SessionOption { return engine.WithKeepResults(keep) }
+
+// WithKeepWasteRatios retains per-run waste ratios and computes each
+// Summary by the exact sorted path (8 bytes per run).
+func WithKeepWasteRatios(keep bool) SessionOption { return engine.WithKeepWasteRatios(keep) }
+
+// WithOnResult streams every run's Result to fn in strict run order on
+// the caller's goroutine — the O(1)-memory observation hook.
+func WithOnResult(fn func(i int, r Result)) SessionOption { return engine.WithOnResult(fn) }
+
+// WithProgress reports campaign progress as (done, total) replicate
+// counts; within Sweep and Compare the total spans the whole grid.
+// MinBandwidth's open-ended bisection probes do not report progress.
+func WithProgress(fn func(done, total int)) SessionOption { return engine.WithProgress(fn) }
+
+// Run executes one simulation (a single-use Arena under the hood).
+//
+// Deprecated: use Session.Run — a session reuses its arena across calls
+// and honours context cancellation. Pinned bit-identical to it.
 func Run(cfg Config) (Result, error) { return engine.Run(cfg) }
 
 // NewArena builds a reusable simulation workspace for the configuration.
@@ -254,16 +314,21 @@ func Run(cfg Config) (Result, error) { return engine.Run(cfg) }
 func NewArena(cfg Config) (*Arena, error) { return engine.NewArena(cfg) }
 
 // Sweep runs the same Monte-Carlo experiment at every point of a scenario
-// grid, streaming per-point results to fn in grid order; one set of
-// per-worker arenas is reused across the whole grid.
+// grid, streaming per-point results to fn in grid order.
+//
+// Deprecated: use Session.Sweep — the same grid as a pull iterator with
+// cancellation and early exit. Pinned bit-identical to it.
 func Sweep(base Config, grid SweepGrid, runs, workers int, opts MCOptions, fn func(SweepPoint, MCResult)) error {
 	return engine.Sweep(base, grid, runs, workers, opts, fn)
 }
 
 // MonteCarlo replicates a configuration over `runs` independent seeds
 // using up to `workers` goroutines (0 = GOMAXPROCS) and summarises the
-// waste ratios. It materialises every per-run Result; use
-// MonteCarloStream or MonteCarloOpts for large replication counts.
+// waste ratios, materialising every per-run Result.
+//
+// Deprecated: use Session.MonteCarlo on a Session built with
+// WithKeepResults(true) and WithKeepWasteRatios(true). Pinned
+// bit-identical to it.
 func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
 	return engine.MonteCarlo(cfg, runs, workers)
 }
@@ -271,25 +336,36 @@ func MonteCarlo(cfg Config, runs, workers int) (MCResult, error) {
 // MonteCarloStream is the O(1)-memory Monte-Carlo experiment: each run's
 // Result is delivered to fn (which may be nil) in strict run order and
 // then dropped; the returned MCResult carries online aggregates only.
-// Same seeds as MonteCarlo — the streamed results are identical.
+//
+// Deprecated: use Session.MonteCarlo on a Session built with
+// WithOnResult(fn). Pinned bit-identical to it.
 func MonteCarloStream(cfg Config, runs, workers int, fn func(i int, r Result)) (MCResult, error) {
 	return engine.MonteCarloStream(cfg, runs, workers, fn)
 }
 
 // MonteCarloOpts is the general Monte-Carlo driver with explicit
 // materialisation options.
+//
+// Deprecated: use Session.MonteCarlo — the Session options express the
+// same choices. Pinned bit-identical to it.
 func MonteCarloOpts(cfg Config, runs, workers int, opts MCOptions) (MCResult, error) {
 	return engine.MonteCarloOpts(cfg, runs, workers, opts)
 }
 
 // CompareStrategies evaluates several strategies on identical per-run
 // seeds (paired comparison).
+//
+// Deprecated: use Session.Compare on a Session built with
+// WithKeepResults(true) and WithKeepWasteRatios(true). Pinned
+// bit-identical to it.
 func CompareStrategies(base Config, strategies []Strategy, runs, workers int) ([]MCResult, error) {
 	return engine.CompareStrategies(base, strategies, runs, workers)
 }
 
 // CompareStrategiesOpts is CompareStrategies with explicit
 // materialisation options (zero MCOptions = fully streaming).
+//
+// Deprecated: use Session.Compare. Pinned bit-identical to it.
 func CompareStrategiesOpts(base Config, strategies []Strategy, runs, workers int, opts MCOptions) ([]MCResult, error) {
 	return engine.CompareStrategiesOpts(base, strategies, runs, workers, opts)
 }
@@ -297,6 +373,8 @@ func CompareStrategiesOpts(base Config, strategies []Strategy, runs, workers int
 // MinBandwidthForEfficiency bisects for the smallest PFS bandwidth
 // (bytes/s) at which the strategy sustains the target efficiency — the
 // Figure 3 experiment.
+//
+// Deprecated: use Session.MinBandwidth. Pinned bit-identical to it.
 func MinBandwidthForEfficiency(cfg Config, targetEfficiency, loBps, hiBps float64, runs, workers, steps int) (float64, error) {
 	return engine.MinBandwidthForEfficiency(cfg, targetEfficiency, loBps, hiBps, runs, workers, steps)
 }

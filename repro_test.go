@@ -3,7 +3,10 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro"
@@ -166,6 +169,77 @@ func TestPublicAPEXClasses(t *testing.T) {
 	}
 	if params[0].Nodes != 2048 {
 		t.Fatalf("EAP nodes = %d", params[0].Nodes)
+	}
+}
+
+// TestPublicSession drives a whole campaign through one facade Session:
+// single run, Monte-Carlo, sweep iterator and paired comparison share the
+// warm arena pool, match the deprecated entry points bit for bit, and a
+// cancelled context aborts with ctx.Err().
+func TestPublicSession(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig(repro.LeastWaste())
+	session := repro.NewSession(
+		repro.WithWorkers(2),
+		repro.WithKeepResults(true),
+		repro.WithKeepWasteRatios(true),
+	)
+
+	res, err := session.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyRes, err := repro.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, legacyRes) {
+		t.Fatal("Session.Run diverged from the deprecated Run")
+	}
+
+	mc, err := session.MonteCarlo(ctx, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyMC, err := repro.MonteCarlo(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mc, legacyMC) {
+		t.Fatal("Session.MonteCarlo diverged from the deprecated MonteCarlo")
+	}
+
+	grid := repro.SweepGrid{Strategies: []repro.Strategy{repro.ObliviousFixed(), repro.LeastWaste()}}
+	points, errf := session.Sweep(ctx, cfg, grid, 2)
+	count := 0
+	for pt, mc := range points {
+		if pt.Index != count {
+			t.Fatalf("sweep point %d delivered with Index %d", count, pt.Index)
+		}
+		if mc.Summary.N != 2 {
+			t.Fatalf("sweep point %d summarised %d runs", pt.Index, mc.Summary.N)
+		}
+		count++
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("sweep yielded %d points, want 2", count)
+	}
+
+	cmp, err := session.Compare(ctx, cfg, []repro.Strategy{repro.ObliviousFixed(), repro.LeastWaste()}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp) != 2 {
+		t.Fatalf("Compare returned %d results", len(cmp))
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := session.MonteCarlo(cancelled, cfg, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MonteCarlo returned %v, want context.Canceled", err)
 	}
 }
 
