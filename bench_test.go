@@ -229,6 +229,33 @@ func BenchmarkSessionReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkCompareCRN measures the variance-reduction entry points on the
+// standard scenario: a paired common-random-numbers comparison of
+// Least-Waste against Ordered-NB-Daly, plain vs antithetic replicates.
+// The per-replicate cost must stay at BenchmarkMonteCarlo/arena rates —
+// CRN pairing and the pair-average CI bookkeeping are O(1) per run.
+func BenchmarkCompareCRN(b *testing.B) {
+	ctx := context.Background()
+	base := benchConfig(repro.Cielo(40, 2), repro.Strategy{})
+	strategies := []repro.Strategy{repro.OrderedNBDaly(), repro.LeastWaste()}
+	for _, anti := range []bool{false, true} {
+		name := "plain"
+		if anti {
+			name = "antithetic"
+		}
+		b.Run(name, func(b *testing.B) {
+			session := repro.NewSession(repro.WithWorkers(1), repro.WithAntithetic(anti))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := session.ComparePaired(ctx, base, strategies, benchRuns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMonteCarloStream measures the O(1)-memory replication path:
 // the per-run cost of a streamed Monte-Carlo experiment, allocations
 // included (the batch path would grow with b.N; this one must not).

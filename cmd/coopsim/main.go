@@ -31,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -58,6 +59,9 @@ func main() {
 		breakdown    = flag.Bool("breakdown", false, "print mean waste breakdown by category")
 		sweepBW      = flag.String("sweep-bw", "", "sweep bandwidth lo:hi:step (GB/s); repeats the experiment per point")
 		sweepMTBF    = flag.String("sweep-mtbf", "", "sweep node MTBF lo:hi:step (years)")
+		targetCI     = flag.String("target-ci", "", "sequential stopping: halfWidth[:confidence[:minRuns[:maxRuns]]]; -runs becomes the replicate cap")
+		antithetic   = flag.Bool("antithetic", false, "antithetic variates: replicate pairs share a seed, the odd member draws complemented streams")
+		paired       = flag.Bool("paired", false, "paired CRN comparison: first strategy is the reference, CI (and -target-ci stopping) on per-replicate differences")
 		benchJSON    = flag.String("bench-json", "", "benchmark the standard scenario and write a machine-readable JSON record to this path ('-' for stdout)")
 	)
 	flag.Parse()
@@ -88,9 +92,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	tci, err := cliutil.TargetCI(*targetCI)
+	if err != nil {
+		fail(err)
+	}
 
 	if *tsv {
-		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\tchannels\t" + tsvHeader())
+		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\tchannels\t" + tsvHeader() + "\truns_used\tci_half_width")
 	}
 
 	// The whole experiment — one point or a -sweep-* series, times the
@@ -132,7 +140,21 @@ func main() {
 		repro.WithWorkers(*workers),
 		repro.WithKeepWasteRatios(true),
 		repro.WithKeepResults(*breakdown),
+		repro.WithAntithetic(*antithetic),
+		repro.WithTargetCI(tci.HalfWidth, tci.Confidence, tci.MinRuns, tci.MaxRuns),
 	)
+
+	if *paired {
+		// The paired comparison is a single-scenario experiment: the
+		// differences only pair when every strategy sees one scenario.
+		if *sweepBW != "" || *sweepMTBF != "" || len(channelCounts) != 1 {
+			fail(fmt.Errorf("-paired needs a single scenario point (no sweeps, one -channels count)"))
+		}
+		base.Channels = channelCounts[0]
+		runPaired(ctx, session, base, strategies, *runs, *tsv)
+		return
+	}
+
 	nStrats := len(strategies)
 	points, errf := session.Sweep(ctx, base, grid, *runs)
 	for pt, mc := range points {
@@ -145,15 +167,17 @@ func main() {
 			fmt.Printf("platform=%s bandwidth=%s nodeMTBF=%.1fy systemMTBF=%s channels=%d runs=%d days=%.0f seed=%d\n",
 				p.Name, units.FormatBandwidth(p.BandwidthBps), mtbfYears,
 				units.FormatDuration(p.SystemMTBF()), pt.Channels, *runs, *days, *seed)
-			fmt.Printf("%-20s %8s %8s %8s %8s %8s %8s\n",
-				"strategy", "mean", "p10", "p25", "p75", "p90", "util")
+			fmt.Printf("%-20s %8s %8s %8s %8s %8s %8s %6s %9s\n",
+				"strategy", "mean", "p10", "p25", "p75", "p90", "util", "runs", "±ci")
 		}
 		s := mc.Summary
 		if *tsv {
-			fmt.Printf("%s\t%g\t%g\t%d\t%s\n", mc.Strategy, bwGBps, mtbfYears, pt.Channels, s.TSVRow())
+			fmt.Printf("%s\t%g\t%g\t%d\t%s\t%d\t%.6g\n",
+				mc.Strategy, bwGBps, mtbfYears, pt.Channels, s.TSVRow(), mc.RunsUsed, mc.CIHalfWidth)
 		} else {
-			fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f\n",
-				mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.MeanUtilization)
+			fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f %6d %9.5f\n",
+				mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.MeanUtilization,
+				mc.RunsUsed, mc.CIHalfWidth)
 			if *breakdown {
 				printBreakdown(mc)
 			}
@@ -166,8 +190,10 @@ func main() {
 			}
 			if *tsv {
 				// Columns match tsvHeader: n=1, stddev=0, every order
-				// statistic collapses to the deterministic bound.
-				fmt.Printf("Theoretical-Model\t%g\t%g\t%d\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
+				// statistic collapses to the deterministic bound, and the
+				// trailing runs_used/ci_half_width pair is 1/0 — the bound
+				// costs one evaluation and carries no Monte-Carlo error.
+				fmt.Printf("Theoretical-Model\t%g\t%g\t%d\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t1\t0\n",
 					bwGBps, mtbfYears, pt.Channels, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
 			} else {
 				fmt.Printf("%-20s %8.4f   (λ=%.4g, F=%.3f, constrained=%v)\n",
@@ -181,6 +207,58 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runPaired runs the -paired experiment: one ComparePaired call on a
+// single scenario, printing each strategy's aggregate row followed by the
+// paired-difference table (Δmean against the reference strategy with its
+// CRN-tightened confidence interval and the variance-reduction
+// diagnostics). In TSV mode the comparison table follows the strategy
+// rows after a blank line, with its own header.
+func runPaired(ctx context.Context, session *repro.Session, base repro.Config, strategies []repro.Strategy, runs int, tsv bool) {
+	mcs, cmps, err := session.ComparePaired(ctx, base, strategies, runs)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			cliutil.ExitInterrupted("coopsim", err)
+		}
+		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
+		os.Exit(1)
+	}
+	bwGBps := base.Platform.BandwidthBps / units.GB
+	mtbfYears := base.Platform.NodeMTBFSeconds / units.Year
+	if !tsv {
+		fmt.Printf("platform=%s bandwidth=%s nodeMTBF=%.1fy channels=%d runs<=%d days=%.0f seed=%d (paired vs %s)\n",
+			base.Platform.Name, units.FormatBandwidth(base.Platform.BandwidthBps), mtbfYears,
+			base.Channels, runs, base.HorizonDays, base.Seed, mcs[0].Strategy)
+		fmt.Printf("%-20s %8s %8s %8s %8s %8s %6s %9s\n",
+			"strategy", "mean", "p10", "p25", "p75", "p90", "runs", "±ci")
+	}
+	for _, mc := range mcs {
+		s := mc.Summary
+		if tsv {
+			fmt.Printf("%s\t%g\t%g\t%d\t%s\t%d\t%.6g\n",
+				mc.Strategy, bwGBps, mtbfYears, base.Channels, s.TSVRow(), mc.RunsUsed, mc.CIHalfWidth)
+		} else {
+			fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %8.4f %6d %9.5f\n",
+				mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.RunsUsed, mc.CIHalfWidth)
+		}
+	}
+	if tsv {
+		fmt.Println()
+		fmt.Println("pair_strategy\treference\tn\tmean_diff\tci_half_width\tconfidence\tcorrelation\tvariance_reduction")
+		for _, c := range cmps {
+			fmt.Printf("%s\t%s\t%d\t%.6g\t%.6g\t%g\t%.4f\t%.4g\n",
+				c.Strategy, c.Reference, c.N, c.MeanDiff, c.CIHalfWidth, c.Confidence, c.Correlation, c.VarianceReduction)
+		}
+		return
+	}
+	fmt.Printf("paired differences (CRN, %g%% CI):\n", 100*cmps[0].Confidence)
+	fmt.Printf("%-20s %10s %10s %6s %7s %8s\n",
+		"strategy", "Δmean", "±ci", "n", "corr", "var-red")
+	for _, c := range cmps {
+		fmt.Printf("%-20s %+10.5f %10.5f %6d %7.4f %8.1f\n",
+			c.Strategy, c.MeanDiff, c.CIHalfWidth, c.N, c.Correlation, c.VarianceReduction)
 	}
 }
 
@@ -341,6 +419,47 @@ func runBenchJSON(path string) {
 		}
 	})
 
+	// Variance reduction on the standard Compare scenario: Least-Waste
+	// against the Ordered-NB-Daly reference. The fixed-runs baseline is
+	// two independent 100-replicate experiments whose two-sample interval
+	// on the mean difference has half-width sqrt(hw0²+hw1²); the paired
+	// CRN design then reaches that same interval by sequential stopping,
+	// and the record keeps how many replicates each design spent.
+	cfg.Seed = 1
+	vrStrats := []repro.Strategy{repro.OrderedNBDaly(), repro.LeastWaste()}
+	const vrRuns = 100
+	vrFail := func(err error) {
+		fmt.Fprintf(os.Stderr, "coopsim: bench: variance reduction: %v\n", err)
+		os.Exit(1)
+	}
+	fixed, err := repro.NewSession().Compare(ctx, cfg, vrStrats, vrRuns)
+	if err != nil {
+		vrFail(err)
+	}
+	targetHW := math.Hypot(fixed[0].CIHalfWidth, fixed[1].CIHalfWidth)
+	_, pairedCmps, err := repro.NewSession().ComparePaired(ctx, cfg, vrStrats, vrRuns)
+	if err != nil {
+		vrFail(err)
+	}
+	seqMCs, seqCmps, err := repro.NewSession(repro.WithTargetCI(targetHW, 0, 0, 0)).
+		ComparePaired(ctx, cfg, vrStrats, 4*vrRuns)
+	if err != nil {
+		vrFail(err)
+	}
+	seqTotal := seqMCs[0].RunsUsed + seqMCs[1].RunsUsed
+	// Antithetic variates on the reference strategy at the same replicate
+	// budget: the pair-average estimator's interval against the plain one
+	// (efficiency > 1 means antithetic pairs beat independent replicates).
+	plainMC, err := repro.NewSession().MonteCarlo(ctx, cfg, vrRuns)
+	if err != nil {
+		vrFail(err)
+	}
+	antiMC, err := repro.NewSession(repro.WithAntithetic(true)).MonteCarlo(ctx, cfg, vrRuns)
+	if err != nil {
+		vrFail(err)
+	}
+	antiEff := (plainMC.CIHalfWidth / antiMC.CIHalfWidth) * (plainMC.CIHalfWidth / antiMC.CIHalfWidth)
+
 	record := map[string]any{
 		"scenario":       "cielo-40GBps-mtbf2y-ordered-nb-daly-60d",
 		"go":             runtime.Version(),
@@ -365,6 +484,32 @@ func runBenchJSON(path string) {
 			"grid_points":                 gridPoints,
 			"warm_grid_sweeps_per_sec":    1e9 / float64(warmGrid.NsPerOp()),
 			"percall_grid_sweeps_per_sec": 1e9 / float64(perCallGrid.NsPerOp()),
+		},
+		"variance_reduction": map[string]any{
+			"scenario":             "cielo-40GBps-mtbf2y-60d compare Least-Waste vs Ordered-NB-Daly",
+			"runs_fixed":           vrRuns,
+			"target_ci_half_width": targetHW,
+			"paired_crn": map[string]any{
+				"correlation":        pairedCmps[0].Correlation,
+				"variance_reduction": pairedCmps[0].VarianceReduction,
+				"mean_diff":          pairedCmps[0].MeanDiff,
+				"ci_half_width":      pairedCmps[0].CIHalfWidth,
+			},
+			"sequential_stopping": map[string]any{
+				"reference_runs_used":    seqMCs[0].RunsUsed,
+				"comparison_runs_used":   seqMCs[1].RunsUsed,
+				"replicates_total":       seqTotal,
+				"replicates_fixed_total": 2 * vrRuns,
+				"replicate_savings":      float64(2*vrRuns) / float64(seqTotal),
+				"comparison_savings":     float64(vrRuns) / float64(seqMCs[1].RunsUsed),
+				"achieved_ci_half_width": seqCmps[0].CIHalfWidth,
+				"confidence":             seqCmps[0].Confidence,
+			},
+			"antithetic": map[string]any{
+				"plain_ci_half_width":      plainMC.CIHalfWidth,
+				"antithetic_ci_half_width": antiMC.CIHalfWidth,
+				"efficiency":               antiEff,
+			},
 		},
 	}
 	out, err := json.MarshalIndent(record, "", "  ")

@@ -45,7 +45,8 @@ type options struct {
 
 func main() {
 	opts := options{}
-	var strategySpec string
+	var strategySpec, targetCISpec string
+	var antithetic bool
 	flag.IntVar(&opts.runs, "runs", 50, "Monte-Carlo replications per point (paper: 1000)")
 	flag.IntVar(&opts.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Uint64Var(&opts.seed, "seed", 1, "master random seed")
@@ -55,6 +56,10 @@ func main() {
 	flag.BoolVar(&opts.tsv, "tsv", false, "emit tab-separated values")
 	flag.StringVar(&strategySpec, "strategies", "legend",
 		"strategy set per point: 'legend' (the §6 seven), 'all', or comma-separated names")
+	flag.StringVar(&targetCISpec, "target-ci", "",
+		"sequential stopping per sweep point and fig3 probe: halfWidth[:confidence[:minRuns[:maxRuns]]]; -runs becomes the cap")
+	flag.BoolVar(&antithetic, "antithetic", false,
+		"antithetic variates: replicate pairs share a seed, the odd member draws complemented streams")
 	flag.Parse()
 
 	if opts.quick {
@@ -70,16 +75,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tci, err := cliutil.TargetCI(targetCISpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, cancel := cliutil.InterruptContext()
 	defer cancel()
 	// One session serves the whole campaign: every figure's grid
 	// reconfigures the same warm per-worker arenas. Exact candlesticks
 	// need only the waste ratios; paper-scale -runs never materialises
-	// per-run Result structs.
+	// per-run Result structs. A -target-ci lets each sweep point (and
+	// each fig3 bisection probe) stop as soon as its mean is resolved.
 	session := repro.NewSession(
 		repro.WithWorkers(opts.workers),
 		repro.WithKeepWasteRatios(true),
+		repro.WithAntithetic(antithetic),
+		repro.WithTargetCI(tci.HalfWidth, tci.Confidence, tci.MinRuns, tci.MaxRuns),
 	)
 
 	cmd := flag.Arg(0)

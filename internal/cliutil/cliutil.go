@@ -67,6 +67,47 @@ func Channels(spec string) ([]int, error) {
 	return out, nil
 }
 
+// TargetCI parses a -target-ci flag value of the form
+// "halfWidth[:confidence[:minRuns[:maxRuns]]]" into a sequential-stopping
+// target; the empty string keeps fixed-runs behaviour (the zero TargetCI).
+// Omitted components select the engine defaults (confidence 0.95,
+// minRuns 8, maxRuns = the experiment's -runs).
+func TargetCI(spec string) (engine.TargetCI, error) {
+	var t engine.TargetCI
+	if spec == "" {
+		return t, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 4 {
+		return t, fmt.Errorf("-target-ci %q: more than four components", spec)
+	}
+	hw, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil || hw <= 0 {
+		return t, fmt.Errorf("-target-ci %q: bad half-width %q", spec, parts[0])
+	}
+	t.HalfWidth = hw
+	if len(parts) > 1 {
+		c, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil || c <= 0 || c >= 1 {
+			return t, fmt.Errorf("-target-ci %q: confidence %q outside (0,1)", spec, parts[1])
+		}
+		t.Confidence = c
+	}
+	for i, dst := range []*int{&t.MinRuns, &t.MaxRuns} {
+		if len(parts) > 2+i {
+			n, err := strconv.Atoi(strings.TrimSpace(parts[2+i]))
+			if err != nil || n < 0 {
+				return t, fmt.Errorf("-target-ci %q: bad run bound %q", spec, parts[2+i])
+			}
+			*dst = n
+		}
+	}
+	if t.MaxRuns > 0 && t.MinRuns > t.MaxRuns {
+		return t, fmt.Errorf("-target-ci %q: minRuns %d above maxRuns %d", spec, t.MinRuns, t.MaxRuns)
+	}
+	return t, nil
+}
+
 // SweepRange parses a sweep flag value of the form "lo:hi:step" with
 // positive components.
 func SweepRange(spec string) (lo, hi, step float64, err error) {

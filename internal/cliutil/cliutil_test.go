@@ -82,3 +82,35 @@ func TestInterruptContext(t *testing.T) {
 	cancel()
 	<-ctx.Done()
 }
+
+func TestTargetCI(t *testing.T) {
+	cases := []struct {
+		spec string
+		want engine.TargetCI
+	}{
+		{"", engine.TargetCI{}},
+		{"0.002", engine.TargetCI{HalfWidth: 0.002}},
+		{"0.002:0.99", engine.TargetCI{HalfWidth: 0.002, Confidence: 0.99}},
+		{"0.002:0.99:16", engine.TargetCI{HalfWidth: 0.002, Confidence: 0.99, MinRuns: 16}},
+		{"0.002:0.99:16:400", engine.TargetCI{HalfWidth: 0.002, Confidence: 0.99, MinRuns: 16, MaxRuns: 400}},
+		{" 0.01 : 0.9 : 4 : 8 ", engine.TargetCI{HalfWidth: 0.01, Confidence: 0.9, MinRuns: 4, MaxRuns: 8}},
+	}
+	for _, c := range cases {
+		got, err := TargetCI(c.spec)
+		if err != nil {
+			t.Errorf("TargetCI(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("TargetCI(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{
+		"x", "-0.1", "0", "0.002:1.5", "0.002:0", "0.002:0.9:-1",
+		"0.002:0.9:4:x", "0.002:0.9:10:5", "1:2:3:4:5",
+	} {
+		if _, err := TargetCI(bad); err == nil {
+			t.Errorf("TargetCI(%q) accepted", bad)
+		}
+	}
+}

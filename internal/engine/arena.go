@@ -128,8 +128,17 @@ func (a *Arena) Reconfigure(cfg Config) error {
 // Run executes one replicate with the given seed, reusing the arena's
 // state. The result is bit-identical to engine.Run of the arena's
 // configuration with that seed.
-func (a *Arena) Run(seed uint64) (Result, error) {
-	res, err := a.replicate(seed)
+func (a *Arena) Run(seed uint64) (Result, error) { return a.RunAnti(seed, false) }
+
+// RunAnti executes one replicate with antithetic sampling switched on or
+// off: with it on, the workload and failure streams draw the complements
+// of the uniforms the plain replicate of the same seed draws
+// (rng.SetAntithetic), so the pair's results bracket the plain run's and
+// their average cancels first-order Monte-Carlo noise. RunAnti(seed,
+// false) is exactly Run(seed). A paired baseline inherits the switch, so
+// the baseline's job list stays identical to the measured run's.
+func (a *Arena) RunAnti(seed uint64, antithetic bool) (Result, error) {
+	res, err := a.replicate(seed, antithetic)
 	if err != nil {
 		return Result{}, err
 	}
@@ -146,7 +155,7 @@ func (a *Arena) Run(seed uint64) (Result, error) {
 			}
 			a.baseline = b
 		}
-		baseRes, err := a.baseline.Run(seed)
+		baseRes, err := a.baseline.RunAnti(seed, antithetic)
 		if err != nil {
 			return Result{}, fmt.Errorf("engine: paired baseline: %w", err)
 		}
@@ -158,7 +167,7 @@ func (a *Arena) Run(seed uint64) (Result, error) {
 }
 
 // replicate re-seeds the arena and runs one simulation end to end.
-func (a *Arena) replicate(seed uint64) (Result, error) {
+func (a *Arena) replicate(seed uint64, antithetic bool) (Result, error) {
 	// Order matters: the engine reset recycles every scheduled event, so
 	// the device reset may simply drop its stale wake handle.
 	a.eng.Reset()
@@ -171,14 +180,16 @@ func (a *Arena) replicate(seed uint64) (Result, error) {
 	}
 	a.pool.reset()
 
-	a.genRNG.ReseedStream(seed, 1)
+	a.genRNG.ReseedStream(seed, rng.StreamWorkload)
+	a.genRNG.SetAntithetic(antithetic)
 	jobs, err := workload.GenerateInto(&a.genRNG, a.cfg.Platform, a.params, a.cfg.Gen, a.jobs[:0])
 	if err != nil {
 		return Result{}, err
 	}
 	a.jobs = jobs
 
-	a.failRNG.ReseedStream(seed, 2)
+	a.failRNG.ReseedStream(seed, rng.StreamFailure)
+	a.failRNG.SetAntithetic(antithetic)
 	a.failSrc.Reset(&a.failRNG, failure.Config{
 		Model:           a.cfg.FailureModel,
 		WeibullShape:    a.cfg.WeibullShape,

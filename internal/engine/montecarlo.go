@@ -30,6 +30,19 @@ type MCResult struct {
 	// Results keeps the per-run details, in run order (nil unless
 	// MCOptions.KeepResults).
 	Results []Result
+	// RunsUsed is the number of replicates actually simulated and folded
+	// into the aggregates: the requested count on a fixed-runs
+	// experiment, possibly fewer under sequential stopping (TargetCI).
+	RunsUsed int
+	// CIHalfWidth is the half-width of the two-sided confidence interval
+	// on the estimator mean at Confidence, from the Welford standard
+	// error: the mean waste ratio normally, the mean of antithetic pair
+	// averages in antithetic mode, and the mean paired difference for
+	// the non-reference entries of Session.ComparePaired. +Inf below two
+	// estimator observations.
+	CIHalfWidth float64
+	// Confidence is the level CIHalfWidth was computed at (default 0.95).
+	Confidence float64
 }
 
 // MCOptions selects what a Monte-Carlo experiment materialises. The zero
@@ -49,6 +62,61 @@ type MCOptions struct {
 	// order (i ascending, 0-based). The Result is passed by value; the
 	// callback runs on the caller's goroutine.
 	OnResult func(i int, r Result)
+	// TargetCI enables sequential stopping: the experiment halts at the
+	// first replicate boundary where the confidence interval on the
+	// estimator mean is at least as tight as TargetCI.HalfWidth. The
+	// zero value keeps the fixed-runs behaviour.
+	TargetCI TargetCI
+	// Antithetic pairs replicates (2i, 2i+1) on the same replicate seed
+	// with the odd member drawing from the complemented uniform streams
+	// (rng.SetAntithetic): pair averages estimate the same mean with the
+	// first-order noise cancelled. Per-run outputs (Results, WasteRatios,
+	// OnResult, Summary) stay per-replicate; only the CI estimator and
+	// sequential stopping operate on the pair averages. Use an even run
+	// count — a trailing unpaired replicate still counts in the summary
+	// but not in the CI estimator.
+	Antithetic bool
+	// ciValue, when non-nil, maps run i's waste ratio to the value the
+	// CI estimator (and sequential stopping) accumulates — the hook
+	// ComparePaired uses to stop on the paired difference against a
+	// reference series instead of the raw mean.
+	ciValue func(i int, wasteRatio float64) float64
+}
+
+// TargetCI configures sequential stopping for a Monte-Carlo experiment:
+// run at least MinRuns and at most MaxRuns replicates, halting as soon
+// as the Welford-based confidence interval on the estimator mean is no
+// wider than ±HalfWidth at the Confidence level. The half-width uses
+// the normal critical value, so MinRuns also guards small-sample
+// validity. A zero HalfWidth disables sequential stopping.
+type TargetCI struct {
+	// HalfWidth is the target half-width of the confidence interval on
+	// the estimator mean (same units as the waste ratio). <= 0 disables.
+	HalfWidth float64
+	// Confidence is the interval's confidence level; 0 selects 0.95.
+	Confidence float64
+	// MinRuns is the minimum replicate count before the stopping rule is
+	// consulted; 0 selects 8 (and it is never below 2 — the variance
+	// needs two observations).
+	MinRuns int
+	// MaxRuns caps the experiment; 0 falls back to the runs argument of
+	// the experiment, so a plain MonteCarlo(ctx, cfg, n) with a target
+	// CI never exceeds its requested budget.
+	MaxRuns int
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (t TargetCI) withDefaults() TargetCI {
+	if t.Confidence == 0 {
+		t.Confidence = 0.95
+	}
+	if t.MinRuns == 0 {
+		t.MinRuns = 8
+	}
+	if t.MinRuns < 2 {
+		t.MinRuns = 2
+	}
+	return t
 }
 
 // MonteCarlo runs the configuration `runs` times with independent seeds
@@ -102,15 +170,16 @@ func normWorkers(runs, workers int) int {
 	return workers
 }
 
-// replicateSeed derives the independent per-run seed of run i. Stream
-// 100+i avoids colliding with the internal generation/failure streams
-// (1 and 2) of any seed, and the derivation is independent of the total
-// run count, so extending an experiment reuses earlier runs' results
-// exactly.
-func replicateSeed(masterSeed uint64, i int) uint64 {
-	var r rng.RNG
-	r.ReseedStream(masterSeed, uint64(100+i))
-	return r.Uint64()
+// replicateDraw resolves run index i under the CRN schedule
+// (rng.ReplicateSeed: independent of the total run count, so extending
+// an experiment reuses earlier runs exactly). In antithetic mode runs
+// 2i and 2i+1 share replicate seed i, the odd member drawing the
+// complemented uniform streams.
+func replicateDraw(masterSeed uint64, i int, antithetic bool) (seed uint64, anti bool) {
+	if antithetic {
+		return rng.ReplicateSeed(masterSeed, i/2), i%2 == 1
+	}
+	return rng.ReplicateSeed(masterSeed, i), false
 }
 
 // monteCarloWith is the core Monte-Carlo driver every entry point funnels
@@ -126,6 +195,13 @@ func replicateSeed(masterSeed uint64, i int) uint64 {
 // new replicate starts, the dispatcher halts, in-flight workers drain,
 // and ctx.Err() is returned. Deliveries (OnResult, progress) made before
 // the cancellation was observed form an exact in-order prefix.
+//
+// Sequential stopping (opts.TargetCI) rides the same machinery as
+// cancellation: when the CI estimator reaches the target half-width the
+// dispatcher halts through the stop channel, in-flight workers drain,
+// and the in-order prefix delivered up to the stopping decision is the
+// experiment (RunsUsed records its length). Antithetic mode remaps run
+// indices onto seed pairs and feeds the CI estimator pair averages.
 func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, opts MCOptions, progress func(done int)) (MCResult, error) {
 	if runs <= 0 {
 		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
@@ -133,9 +209,19 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	if err := ctx.Err(); err != nil {
 		return MCResult{}, err
 	}
+	seq := opts.TargetCI.withDefaults()
+	seqOn := seq.HalfWidth > 0
+	total := runs
+	if seqOn && seq.MaxRuns > 0 {
+		total = seq.MaxRuns
+	}
+	minRuns := seq.MinRuns
+	if opts.Antithetic && minRuns%2 == 1 {
+		minRuns++ // stopping decisions only at pair boundaries
+	}
 	workers := len(arenas)
-	if workers > runs {
-		workers = runs
+	if workers > total {
+		workers = total
 	}
 
 	// Bounded reorder window: run i may only be dispatched once run
@@ -193,7 +279,8 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 				}
 				var r Result
 				if err == nil {
-					r, err = a.Run(replicateSeed(cfg.Seed, i))
+					seed, anti := replicateDraw(cfg.Seed, i, opts.Antithetic)
+					r, err = a.RunAnti(seed, anti)
 				}
 				resCh <- item{i: i, r: r, err: err}
 			}
@@ -205,7 +292,7 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 			close(next)
 			dispatchedCh <- dispatched
 		}()
-		for i := 0; i < runs; i++ {
+		for i := 0; i < total; i++ {
 			select {
 			case gate <- struct{}{}:
 			case <-stop:
@@ -226,35 +313,54 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 
 	mc := MCResult{Strategy: cfg.Strategy.Name()}
 	if opts.KeepResults {
-		mc.Results = make([]Result, runs)
+		mc.Results = make([]Result, total)
 	}
 	if opts.KeepWasteRatios {
-		mc.WasteRatios = make([]float64, runs)
+		mc.WasteRatios = make([]float64, total)
 	}
 	var acc stats.Accumulator
+	// ciAcc is the estimator accumulator behind CIHalfWidth and the
+	// stopping rule: raw waste ratios (or their ciValue transform — the
+	// paired difference in ComparePaired), folded as antithetic pair
+	// averages when that mode is on.
+	var ciAcc stats.Accumulator
+	var pairEven float64 // the even member awaiting its antithetic twin
 	var util, fails float64
 	var firstErr error
+	folded := 0
+	stopped, stopClosed := false, false
 
+	halt := func() {
+		if !stopClosed {
+			stopClosed = true
+			close(stop)
+		}
+	}
 	abort := func(err error) {
 		if firstErr == nil {
 			firstErr = err
-			close(stop)
+			halt()
 		}
 	}
 	deliver := func(it item) {
 		<-gate
-		if firstErr == nil && ctx.Err() != nil {
+		if firstErr == nil && !stopped && ctx.Err() != nil {
 			abort(ctx.Err())
 		}
 		if it.err != nil {
-			if it.canceled {
-				abort(it.err)
-			} else {
-				abort(fmt.Errorf("engine: run %d: %w", it.i, it.err))
+			// Errors surfacing from runs dispatched before a graceful
+			// sequential stop cannot invalidate the already-complete
+			// experiment; outside that window they abort it.
+			if !stopped {
+				if it.canceled {
+					abort(it.err)
+				} else {
+					abort(fmt.Errorf("engine: run %d: %w", it.i, it.err))
+				}
 			}
 			return
 		}
-		if firstErr != nil {
+		if firstErr != nil || stopped {
 			return
 		}
 		if opts.OnResult != nil {
@@ -270,8 +376,28 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 		}
 		util += it.r.Utilization
 		fails += float64(it.r.Failures)
+		folded++
+		v := it.r.WasteRatio
+		if opts.ciValue != nil {
+			v = opts.ciValue(it.i, v)
+		}
+		if opts.Antithetic {
+			if it.i%2 == 0 {
+				pairEven = v
+			} else {
+				ciAcc.Add((pairEven + v) / 2)
+			}
+		} else {
+			ciAcc.Add(v)
+		}
 		if progress != nil {
 			progress(it.i + 1)
+		}
+		if seqOn && folded >= minRuns && folded < total &&
+			(!opts.Antithetic || folded%2 == 0) &&
+			ciAcc.HalfWidth(seq.Confidence) <= seq.HalfWidth {
+			stopped = true
+			halt()
 		}
 	}
 
@@ -299,7 +425,7 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	}
 	wg.Wait()
 
-	if firstErr == nil && nextIdx < runs {
+	if firstErr == nil && !stopped && nextIdx < total {
 		// The dispatcher halted early on ctx without any worker
 		// observing the cancellation (all dispatched runs completed
 		// cleanly): the experiment is still incomplete.
@@ -308,13 +434,20 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	if firstErr != nil {
 		return MCResult{}, firstErr
 	}
+	if mc.Results != nil {
+		mc.Results = mc.Results[:folded]
+	}
 	if mc.WasteRatios != nil {
+		mc.WasteRatios = mc.WasteRatios[:folded]
 		mc.Summary = stats.Summarize(mc.WasteRatios)
 	} else {
 		mc.Summary = acc.Summary()
 	}
-	mc.MeanUtilization = util / float64(runs)
-	mc.MeanFailures = fails / float64(runs)
+	mc.MeanUtilization = util / float64(folded)
+	mc.MeanFailures = fails / float64(folded)
+	mc.RunsUsed = folded
+	mc.Confidence = seq.Confidence
+	mc.CIHalfWidth = ciAcc.HalfWidth(seq.Confidence)
 	return mc, nil
 }
 

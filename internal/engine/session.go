@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"iter"
+
+	"repro/internal/stats"
 )
 
 // Session is the experiment driver: one context-aware entry point for
@@ -72,6 +74,35 @@ func WithKeepWasteRatios(keep bool) SessionOption {
 // the O(1)-memory observation hook.
 func WithOnResult(fn func(i int, r Result)) SessionOption {
 	return func(s *Session) { s.opts.OnResult = fn }
+}
+
+// WithTargetCI enables sequential stopping for the session's experiments:
+// each Monte-Carlo experiment (including every Sweep/Compare point and
+// every MinBandwidth probe) halts at the first replicate boundary where
+// the confidence interval on its estimator mean is no wider than
+// ±halfWidth at the given confidence level, bounded below by minRuns and
+// above by maxRuns. Zeros select the documented TargetCI defaults
+// (confidence 0.95, minRuns 8, maxRuns = the experiment's runs argument).
+// A non-positive halfWidth disables sequential stopping. MCResult.RunsUsed
+// and MCResult.CIHalfWidth record each experiment's outcome.
+func WithTargetCI(halfWidth, confidence float64, minRuns, maxRuns int) SessionOption {
+	return func(s *Session) {
+		s.opts.TargetCI = TargetCI{
+			HalfWidth:  halfWidth,
+			Confidence: confidence,
+			MinRuns:    minRuns,
+			MaxRuns:    maxRuns,
+		}
+	}
+}
+
+// WithAntithetic runs the session's Monte-Carlo experiments with
+// antithetic variates: replicates (2i, 2i+1) share replicate seed i, the
+// odd member drawing the complemented uniform streams, and the CI
+// estimator (hence sequential stopping) operates on the pair averages.
+// Per-run outputs stay per-replicate; see MCOptions.Antithetic.
+func WithAntithetic(on bool) SessionOption {
+	return func(s *Session) { s.opts.Antithetic = on }
 }
 
 // WithProgress reports campaign progress to fn as (done, total) replicate
@@ -215,6 +246,111 @@ func (s *Session) Compare(ctx context.Context, base Config, strategies []Strateg
 	return out, nil
 }
 
+// PairedComparison reports one strategy of Session.ComparePaired against
+// the reference: the paired-difference statistics that common random
+// numbers make tight, plus the variance-reduction diagnostics.
+type PairedComparison struct {
+	// Strategy and Reference name the compared pair; the mean difference
+	// is Strategy minus Reference, so a negative MeanDiff means the
+	// strategy wastes less than the reference.
+	Strategy, Reference string
+	// N is the number of replicate pairs folded into the statistics.
+	N int
+	// MeanDiff is the mean per-replicate waste-ratio difference.
+	MeanDiff float64
+	// CIHalfWidth bounds the confidence interval on MeanDiff at
+	// Confidence: the strategy's MCResult.CIHalfWidth, which under
+	// sequential stopping is also what the stopping rule gated on.
+	CIHalfWidth float64
+	// Confidence is the level CIHalfWidth was computed at.
+	Confidence float64
+	// Correlation is the sample correlation the common random numbers
+	// induced between the two waste-ratio series (the closer to 1, the
+	// more the pairing helps).
+	Correlation float64
+	// VarianceReduction is how many times fewer replicates the paired
+	// design needs than an independent two-sample design for the same
+	// interval on the mean difference: (Var(x)+Var(y))/Var(x-y).
+	VarianceReduction float64
+}
+
+// ComparePaired is Compare with the comparison itself as the estimand:
+// the first strategy is the reference, and every other strategy's CI —
+// and, under WithTargetCI, its stopping rule — is computed on the
+// per-replicate *difference* of its waste ratio against the reference's
+// on the same seed. Common random numbers make those differences far less
+// variable than either series, so the paired design resolves "is strategy
+// A better than strategy B, and by how much" in several-fold fewer
+// replicates than comparing two independent confidence intervals (the
+// paper's §5 evaluation design). It returns one MCResult per strategy in
+// order (the reference's CI is on its own mean) and one PairedComparison
+// per non-reference strategy.
+//
+// The reference replicates are materialised (O(runs) memory) to serve as
+// the difference baseline, so its Summary is the exact sorted statistic.
+// Under sequential stopping the reference stops on its own mean first and
+// the other strategies never run past its replicate count — pairing needs
+// both series at every index.
+func (s *Session) ComparePaired(ctx context.Context, base Config, strategies []Strategy, runs int) ([]MCResult, []PairedComparison, error) {
+	if len(strategies) < 2 {
+		return nil, nil, fmt.Errorf("engine: paired comparison needs at least two strategies, got %d", len(strategies))
+	}
+	total := len(strategies) * runs
+	out := make([]MCResult, 0, len(strategies))
+	cmps := make([]PairedComparison, 0, len(strategies)-1)
+
+	refOpts := s.opts
+	refOpts.KeepWasteRatios = true
+	refCfg := base
+	refCfg.Strategy = strategies[0]
+	refMC, err := s.monteCarlo(ctx, refCfg, runs, refOpts, 0, total)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: paired reference (%s): %w", strategies[0].Name(), err)
+	}
+	refVals := refMC.WasteRatios
+	if !s.opts.KeepWasteRatios {
+		refMC.WasteRatios = nil
+	}
+	out = append(out, refMC)
+
+	for k, strat := range strategies[1:] {
+		opts := s.opts
+		var pa stats.PairedAccumulator
+		user := opts.OnResult
+		opts.OnResult = func(i int, r Result) {
+			pa.Add(r.WasteRatio, refVals[i])
+			if user != nil {
+				user(i, r)
+			}
+		}
+		opts.ciValue = func(i int, wasteRatio float64) float64 {
+			return wasteRatio - refVals[i]
+		}
+		if opts.TargetCI.HalfWidth > 0 &&
+			(opts.TargetCI.MaxRuns <= 0 || opts.TargetCI.MaxRuns > refMC.RunsUsed) {
+			opts.TargetCI.MaxRuns = refMC.RunsUsed
+		}
+		cfg := base
+		cfg.Strategy = strat
+		mc, err := s.monteCarlo(ctx, cfg, refMC.RunsUsed, opts, (k+1)*runs, total)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: paired comparison (%s): %w", strat.Name(), err)
+		}
+		out = append(out, mc)
+		cmps = append(cmps, PairedComparison{
+			Strategy:          mc.Strategy,
+			Reference:         refMC.Strategy,
+			N:                 pa.N(),
+			MeanDiff:          pa.MeanDiff(),
+			CIHalfWidth:       mc.CIHalfWidth,
+			Confidence:        mc.Confidence,
+			Correlation:       pa.Correlation(),
+			VarianceReduction: pa.VarianceReduction(),
+		})
+	}
+	return out, cmps, nil
+}
+
 // MinBandwidth searches the smallest aggregated bandwidth (in bytes/s,
 // within [loBps, hiBps]) at which the strategy's mean waste ratio stays
 // at or below 1-targetEfficiency — the Figure 3 experiment ("the required
@@ -225,9 +361,12 @@ func (s *Session) Compare(ctx context.Context, base Config, strategies []Strateg
 // warm arenas and streams its replications in O(1) memory; the
 // accumulator's mean is the same ordered sum as the batch path, so the
 // bisection decisions are bit-identical to materialising every run. The
-// probes bypass the session's WithOnResult and WithProgress hooks: the
+// probes bypass the session's WithOnResult and WithProgress hooks (the
 // probe count is search-dependent, so there is no campaign total to
-// report against.
+// report against) but honour WithTargetCI and WithAntithetic: a target
+// CI lets every probe stop as soon as its mean is resolved tightly
+// enough, which is where sequential stopping pays off most — the
+// bisection multiplies any per-probe saving by its depth.
 func (s *Session) MinBandwidth(ctx context.Context, cfg Config, targetEfficiency, loBps, hiBps float64, runs, steps int) (float64, error) {
 	if targetEfficiency <= 0 || targetEfficiency >= 1 {
 		return 0, fmt.Errorf("engine: target efficiency %v outside (0,1)", targetEfficiency)
@@ -245,7 +384,8 @@ func (s *Session) MinBandwidth(ctx context.Context, cfg Config, targetEfficiency
 	meanWaste := func(bps float64) (float64, error) {
 		c := cfg
 		c.Platform.BandwidthBps = bps
-		mc, err := monteCarloWith(ctx, s.arenasFor(runs), c, runs, MCOptions{}, nil)
+		mc, err := monteCarloWith(ctx, s.arenasFor(runs), c, runs,
+			MCOptions{TargetCI: s.opts.TargetCI, Antithetic: s.opts.Antithetic}, nil)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,133 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReplicateSeedSchedule pins the documented CRN derivation: the
+// replicate seed is the first draw of sub-stream 100+i of the master
+// seed, a pure function of (master, i) — independent of run totals, so
+// extending an experiment reuses earlier replicates exactly.
+func TestReplicateSeedSchedule(t *testing.T) {
+	for _, master := range []uint64{0, 1, 42, 1 << 60} {
+		for i := 0; i < 20; i++ {
+			var r RNG
+			r.ReseedStream(master, uint64(100+i))
+			if want, got := r.Uint64(), ReplicateSeed(master, i); got != want {
+				t.Fatalf("ReplicateSeed(%d, %d) = %d, want stream-derived %d", master, i, got, want)
+			}
+		}
+	}
+	// Distinct replicate indices must give distinct seeds (collisions
+	// would silently duplicate replicates).
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := ReplicateSeed(7, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("replicate seeds %d and %d collide (%d)", j, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestAntitheticFloat64Complement: with antithetic mode on, every Float64
+// is the complement 1-u of the plain stream's draw at the same state, and
+// stays inside [0, 1).
+func TestAntitheticFloat64Complement(t *testing.T) {
+	plain, anti := New(99), New(99)
+	anti.SetAntithetic(true)
+	if !anti.Antithetic() || plain.Antithetic() {
+		t.Fatal("antithetic flag not tracked")
+	}
+	for i := 0; i < 10_000; i++ {
+		u := plain.Float64()
+		v := anti.Float64()
+		want := 1 - u
+		if want == 1 {
+			want = 1 - 0x1p-53 // the u==0 boundary folds back into [0,1)
+		}
+		if v != want {
+			t.Fatalf("draw %d: antithetic %v, want complement %v of %v", i, v, want, u)
+		}
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %d: antithetic %v outside [0,1)", i, v)
+		}
+	}
+}
+
+// TestAntitheticIntegerDrawsShared: integer draws come straight off the
+// underlying stream in both modes — only continuous variates mirror, so
+// structural choices (class picks, shuffles) stay common between the
+// members of an antithetic pair.
+func TestAntitheticIntegerDrawsShared(t *testing.T) {
+	plain, anti := New(5), New(5)
+	anti.SetAntithetic(true)
+	for i := 0; i < 1000; i++ {
+		if a, b := plain.Uint64(), anti.Uint64(); a != b {
+			t.Fatalf("Uint64 draw %d differs under antithetic mode: %d vs %d", i, a, b)
+		}
+	}
+	plain.Reseed(5)
+	anti.Reseed(5)
+	for i := 0; i < 1000; i++ {
+		if a, b := plain.Intn(97), anti.Intn(97); a != b {
+			t.Fatalf("Intn draw %d differs under antithetic mode: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestAntitheticMirrorsVariates: Exponential and Weibull draws of an
+// antithetic pair land on opposite sides of the distribution (negatively
+// correlated via u -> 1-u), and Normal mirrors about its mean exactly.
+func TestAntitheticMirrorsVariates(t *testing.T) {
+	plain, anti := New(11), New(11)
+	anti.SetAntithetic(true)
+	var cov, meanP, meanA float64
+	const n = 4096
+	draws := make([][2]float64, n)
+	for i := range draws {
+		p := plain.Exponential(10)
+		a := anti.Exponential(10)
+		draws[i] = [2]float64{p, a}
+		meanP += p / n
+		meanA += a / n
+	}
+	for _, d := range draws {
+		cov += (d[0] - meanP) * (d[1] - meanA)
+	}
+	if cov >= 0 {
+		t.Fatalf("antithetic exponential draws are not negatively correlated (cov %v)", cov)
+	}
+
+	plain.Reseed(13)
+	anti.Reseed(13)
+	for i := 0; i < 1000; i++ {
+		p := plain.Normal(100, 7)
+		a := anti.Normal(100, 7)
+		if math.Abs((p-100)+(a-100)) > 1e-9 {
+			t.Fatalf("draw %d: normal pair (%v, %v) does not mirror about the mean", i, p, a)
+		}
+	}
+}
+
+// TestAntitheticSurvivesReseed: the antithetic switch is a consumer
+// property of the generator, preserved across Reseed/ReseedStream — the
+// arena reseed path relies on setting it once per replicate.
+func TestAntitheticSurvivesReseed(t *testing.T) {
+	r := New(1)
+	r.SetAntithetic(true)
+	r.Reseed(2)
+	if !r.Antithetic() {
+		t.Fatal("Reseed cleared antithetic mode")
+	}
+	r.ReseedStream(3, 4)
+	if !r.Antithetic() {
+		t.Fatal("ReseedStream cleared antithetic mode")
+	}
+	plain := NewStream(3, 4)
+	u := plain.Float64()
+	if v := r.Float64(); v != 1-u {
+		t.Fatalf("reseeded antithetic stream drew %v, want complement %v", v, 1-u)
+	}
+}

@@ -13,6 +13,41 @@ package rng
 
 import "math"
 
+// The common-random-numbers (CRN) seed schedule. Every simulation
+// replicate derives its component streams from a single replicate seed,
+// and every replicate seed is a pure function of the experiment's master
+// seed and the replicate index:
+//
+//	replicate seed i   = ReplicateSeed(master, i)     (stream 100+i)
+//	workload stream    = ReseedStream(seed_i, StreamWorkload)
+//	failure stream     = ReseedStream(seed_i, StreamFailure)
+//
+// Two strategies evaluated at the same (master, i) therefore consume
+// bit-identical workload and failure draws — the paired design of the
+// paper's §5 comparisons — and extending an experiment from n to m > n
+// replicates reuses runs 0..n-1 exactly, because the derivation never
+// depends on the total replicate count.
+const (
+	// StreamWorkload seeds job-mix generation within a replicate.
+	StreamWorkload = 1
+	// StreamFailure seeds failure injection within a replicate.
+	StreamFailure = 2
+	// streamReplicateBase offsets replicate streams past the component
+	// streams above, so no replicate seed collides with an internal
+	// stream of any seed.
+	streamReplicateBase = 100
+)
+
+// ReplicateSeed derives the independent seed of replicate i from the
+// experiment's master seed — the CRN schedule's outer level. The
+// derivation is stable: it is part of the package contract that
+// recorded experiments replay bit-identically.
+func ReplicateSeed(master uint64, i int) uint64 {
+	var r RNG
+	r.ReseedStream(master, uint64(streamReplicateBase+i))
+	return r.Uint64()
+}
+
 // RNG is a deterministic pseudo-random number generator (xoshiro256**).
 // It is not safe for concurrent use; derive one stream per goroutine with
 // Split or NewStream.
@@ -20,6 +55,8 @@ type RNG struct {
 	s        [4]uint64
 	spare    float64 // cached second variate from the polar Normal method
 	hasSpare bool
+	// anti complements every uniform variate (antithetic sampling).
+	anti bool
 }
 
 // splitmix64 advances x and returns the next splitmix64 output. It is used
@@ -43,7 +80,8 @@ func New(seed uint64) *RNG {
 // Reseed re-initialises the generator in place to the exact state New(seed)
 // would produce, including clearing the cached Normal spare. It lets
 // long-lived simulation arenas re-derive their streams per replicate
-// without allocating.
+// without allocating. The antithetic mode is a property of the consumer,
+// not of the seed, and is preserved across Reseed.
 func (r *RNG) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
@@ -96,9 +134,32 @@ func (r *RNG) Split() *RNG {
 	return New(splitmix64(&x))
 }
 
+// SetAntithetic switches antithetic sampling on or off: with it on, every
+// continuous variate is drawn from the complemented uniform stream (u
+// becomes 1-u), so a generator reseeded to the same state with the switch
+// flipped produces the mirror-image sample path. Exponential and Weibull
+// inter-arrivals are antithetically (negatively) correlated with their
+// plain counterparts, Normal variates are reflected about the mean, and
+// Uniform(a,b) maps to a+b-x. Integer draws (Uint64, Intn, Shuffle, Perm)
+// are unaffected — antithetic pairs share every discrete choice and
+// mirror only the continuous ones, which is what keeps pair averages
+// unbiased while cancelling first-order noise.
+func (r *RNG) SetAntithetic(on bool) { r.anti = on }
+
+// Antithetic reports whether antithetic sampling is on.
+func (r *RNG) Antithetic() bool { return r.anti }
+
 // Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+// In antithetic mode the variate is the complement 1-u of the plain draw,
+// nudged back inside [0, 1) at the (probability 2^-53) boundary.
 func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) * 0x1p-53
+	f := float64(r.Uint64()>>11) * 0x1p-53
+	if r.anti {
+		if f = 1 - f; f == 1 {
+			f = 1 - 0x1p-53
+		}
+	}
+	return f
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

@@ -40,6 +40,16 @@ func Variance(xs []float64) float64 {
 // StdDev returns the sample standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// ZScore returns the two-sided standard-normal critical value for the
+// given confidence level: the z with P(|N(0,1)| <= z) = confidence
+// (e.g. 1.96 for 0.95). It panics outside (0, 1).
+func ZScore(confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		panic(fmt.Sprintf("stats: confidence %v outside (0,1)", confidence))
+	}
+	return math.Sqrt2 * math.Erfinv(confidence)
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of sorted (ascending) data
 // using linear interpolation between order statistics. It panics if the
 // data is empty or q is outside [0,1].

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestZScore pins the two-sided normal critical values the sequential
+// stopping rule gates on.
+func TestZScore(t *testing.T) {
+	cases := []struct{ conf, want float64 }{
+		{0.90, 1.6449},
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+	}
+	for _, c := range cases {
+		if got := ZScore(c.conf); math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("ZScore(%v) = %v, want %v", c.conf, got, c.want)
+		}
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ZScore(%v) did not panic", bad)
+				}
+			}()
+			ZScore(bad)
+		}()
+	}
+}
+
+// TestAccumulatorHalfWidth: +Inf below two observations, then the normal
+// critical value over the Welford standard error.
+func TestAccumulatorHalfWidth(t *testing.T) {
+	var a Accumulator
+	if !math.IsInf(a.HalfWidth(0.95), 1) {
+		t.Fatal("empty accumulator half-width not +Inf")
+	}
+	a.Add(3)
+	if !math.IsInf(a.HalfWidth(0.95), 1) {
+		t.Fatal("single-observation half-width not +Inf")
+	}
+	xs := []float64{3, 5, 7, 11, 13, 17}
+	for _, x := range xs[1:] {
+		a.Add(x)
+	}
+	want := ZScore(0.95) * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	if got := a.HalfWidth(0.95); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("HalfWidth = %v, want %v", got, want)
+	}
+}
+
+// mergeSplit feeds xs[:cut] and xs[cut:] into two accumulators, merges
+// them, and cross-validates against the single-stream accumulation of the
+// whole sequence.
+func mergeSplit(t *testing.T, xs []float64, cut int) {
+	t.Helper()
+	var single, a, b Accumulator
+	for _, x := range xs {
+		single.Add(x)
+	}
+	for _, x := range xs[:cut] {
+		a.Add(x)
+	}
+	for _, x := range xs[cut:] {
+		b.Add(x)
+	}
+	a.Merge(&b)
+
+	if a.N() != single.N() {
+		t.Fatalf("cut %d: merged N = %d, want %d", cut, a.N(), single.N())
+	}
+	if a.Min() != single.Min() || a.Max() != single.Max() {
+		t.Fatalf("cut %d: merged extremes (%v, %v) != (%v, %v)",
+			cut, a.Min(), a.Max(), single.Min(), single.Max())
+	}
+	relClose := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+			t.Fatalf("cut %d: merged %s = %v, want %v", cut, name, got, want)
+		}
+	}
+	relClose("mean", a.Mean(), single.Mean(), 1e-12)
+	relClose("variance", a.Variance(), single.Variance(), 1e-9)
+	// Quantiles: exact (same add sequence or exact replay) while either
+	// side holds its full head; estimate-vs-estimate otherwise — pin them
+	// to the exact sample quantiles within a coarse P² tolerance.
+	spread := single.Max() - single.Min()
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90} {
+		got := a.Quantile(q)
+		want := single.Quantile(q)
+		if len(xs)-cut <= smallN {
+			if got != want {
+				t.Fatalf("cut %d: merged P%v = %v, want exact-replay %v", cut, q*100, got, want)
+			}
+		} else if math.Abs(got-want) > 0.15*spread {
+			t.Fatalf("cut %d: merged P%v = %v, too far from single-stream %v", cut, q*100, got, want)
+		}
+	}
+}
+
+// TestAccumulatorMergeCrossValidation covers every merge regime — both
+// sides small, small into large, large into small, both large — against
+// single-stream accumulation of the same observations.
+func TestAccumulatorMergeCrossValidation(t *testing.T) {
+	r := rng.New(31)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Normal(10, 3)
+	}
+	for _, cut := range []int{1, 30, 64, 100, 436, 470, 499} {
+		mergeSplit(t, xs, cut)
+	}
+	// Small totals stay exact end to end.
+	mergeSplit(t, xs[:40], 15)
+
+	// Merging the empty accumulator is the identity in both directions.
+	var a, empty Accumulator
+	for _, x := range xs[:10] {
+		a.Add(x)
+	}
+	before := a
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a != before {
+		t.Fatal("merging an empty accumulator changed the receiver")
+	}
+	empty.Merge(&a)
+	if empty != a {
+		t.Fatal("merging into an empty accumulator is not a copy")
+	}
+}
+
+// TestAccumulatorConstantSamples: a constant stream must report the
+// constant for every statistic, however long it runs — the P² parabolic
+// step must not drift off a run of exactly equal observations.
+func TestAccumulatorConstantSamples(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 500; i++ {
+		a.Add(5)
+	}
+	s := a.Summary()
+	for name, got := range map[string]float64{
+		"mean": s.Mean, "min": s.Min, "max": s.Max,
+		"p10": s.P10, "p25": s.P25, "p50": s.P50, "p75": s.P75, "p90": s.P90,
+	} {
+		if got != 5 {
+			t.Errorf("constant stream %s = %v, want exactly 5", name, got)
+		}
+	}
+	if s.StdDev != 0 {
+		t.Errorf("constant stream stddev = %v, want 0", s.StdDev)
+	}
+}
+
+// TestAccumulatorNearConstantSamples is the regression for the tied-
+// marker guard: a stream that is constant except for a few outliers must
+// keep every quantile inside the observed range, and the low quantiles —
+// whose neighbouring markers are tied at the constant — exactly on it.
+func TestAccumulatorNearConstantSamples(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 300; i++ {
+		x := 5.0
+		if i%30 == 7 {
+			x = 5.1
+		}
+		a.Add(x)
+	}
+	s := a.Summary()
+	for name, got := range map[string]float64{
+		"p10": s.P10, "p25": s.P25, "p50": s.P50, "p75": s.P75, "p90": s.P90,
+	} {
+		if got < 5 || got > 5.1 {
+			t.Errorf("near-constant stream %s = %v, outside the sample range [5, 5.1]", name, got)
+		}
+	}
+	// ~97% of the sample sits exactly at 5.0: the lower quantiles' cells
+	// are tied runs, where the guard keeps the markers pinned to the
+	// constant up to interpolation against the far outlier cell.
+	for name, got := range map[string]float64{"p10": s.P10, "p25": s.P25, "p50": s.P50} {
+		if math.Abs(got-5) > 1e-5 {
+			t.Errorf("near-constant stream %s = %v, want 5 within 1e-5", name, got)
+		}
+	}
+}
+
+// TestPairedAccumulator cross-validates the paired statistics against a
+// plain accumulator over the differences and checks the CRN diagnostics
+// on series of known correlation.
+func TestPairedAccumulator(t *testing.T) {
+	r := rng.New(77)
+	var p PairedAccumulator
+	var diff Accumulator
+	for i := 0; i < 200; i++ {
+		x := r.Normal(3, 1)
+		y := x + 0.5 + 0.01*r.Normal(0, 1) // strongly correlated pair
+		p.Add(x, y)
+		diff.Add(x - y)
+	}
+	if p.N() != 200 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if got, want := p.MeanDiff(), diff.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanDiff = %v, want %v", got, want)
+	}
+	if got, want := p.HalfWidth(0.95), diff.HalfWidth(0.95); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("HalfWidth = %v, want %v", got, want)
+	}
+	if c := p.Correlation(); c < 0.99 || c > 1 {
+		t.Fatalf("Correlation = %v, want ~1 for near-identical series", c)
+	}
+	if vr := p.VarianceReduction(); vr < 100 {
+		t.Fatalf("VarianceReduction = %v, want large for near-identical series", vr)
+	}
+
+	// A perfectly paired design: constant shift, zero difference variance.
+	var exact PairedAccumulator
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		exact.Add(x, x+2)
+	}
+	if vr := exact.VarianceReduction(); !math.IsInf(vr, 1) {
+		t.Fatalf("constant-shift VarianceReduction = %v, want +Inf", vr)
+	}
+	if c := exact.Correlation(); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("constant-shift Correlation = %v, want 1", c)
+	}
+
+	// Independent series: correlation near zero, no replicate savings.
+	var indep PairedAccumulator
+	for i := 0; i < 2000; i++ {
+		indep.Add(r.Normal(0, 1), r.Normal(0, 1))
+	}
+	if c := indep.Correlation(); math.Abs(c) > 0.1 {
+		t.Fatalf("independent Correlation = %v, want ~0", c)
+	}
+	if vr := indep.VarianceReduction(); vr < 0.7 || vr > 1.4 {
+		t.Fatalf("independent VarianceReduction = %v, want ~1", vr)
+	}
+
+	// Merge cross-validation: shard the same pairs across two
+	// accumulators and fold them back together.
+	r2 := rng.New(78)
+	var whole, sa, sb PairedAccumulator
+	for i := 0; i < 60; i++ {
+		x, y := r2.Normal(0, 1), r2.Normal(0, 1)
+		whole.Add(x, y)
+		if i < 25 {
+			sa.Add(x, y)
+		} else {
+			sb.Add(x, y)
+		}
+	}
+	sa.Merge(&sb)
+	if sa.N() != whole.N() || math.Abs(sa.MeanDiff()-whole.MeanDiff()) > 1e-12 ||
+		math.Abs(sa.VarianceDiff()-whole.VarianceDiff()) > 1e-9 {
+		t.Fatal("PairedAccumulator.Merge diverged from single-stream accumulation")
+	}
+}

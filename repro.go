@@ -96,13 +96,22 @@ type (
 	// zero value is the fully streaming O(1)-memory path. New code should
 	// express the same choices as Session options.
 	MCOptions = engine.MCOptions
+	// TargetCI configures sequential stopping: halt a Monte-Carlo
+	// experiment once the confidence interval on the estimator mean is no
+	// wider than ±HalfWidth (see Session option WithTargetCI).
+	TargetCI = engine.TargetCI
+	// PairedComparison reports one strategy of Session.ComparePaired
+	// against the reference: paired-difference mean and CI plus the
+	// CRN correlation and variance-reduction diagnostics.
+	PairedComparison = engine.PairedComparison
 	// Session is the context-aware experiment driver: one warm per-worker
-	// arena pool shared by Run, MonteCarlo, Sweep, Compare and
-	// MinBandwidth for the session's lifetime. Not safe for concurrent
+	// arena pool shared by Run, MonteCarlo, Sweep, Compare, ComparePaired
+	// and MinBandwidth for the session's lifetime. Not safe for concurrent
 	// use.
 	Session = engine.Session
 	// SessionOption configures a Session at construction (WithWorkers,
-	// WithKeepResults, WithKeepWasteRatios, WithOnResult, WithProgress).
+	// WithKeepResults, WithKeepWasteRatios, WithOnResult, WithProgress,
+	// WithTargetCI, WithAntithetic).
 	SessionOption = engine.SessionOption
 	// Arena is a reusable simulation workspace: built once, re-seeded per
 	// replicate, so steady-state Monte-Carlo replicates allocate near
@@ -121,6 +130,10 @@ type (
 	// Accumulator folds samples into candlestick statistics online in
 	// O(1) memory (exact mean/min/max, Welford variance, P² quantiles).
 	Accumulator = stats.Accumulator
+	// PairedAccumulator folds a common-random-numbers comparison online:
+	// the statistics of the per-replicate differences of two estimators
+	// evaluated on the same seeds, plus variance-reduction diagnostics.
+	PairedAccumulator = stats.PairedAccumulator
 	// TraceEvent is one observable simulation transition.
 	TraceEvent = engine.TraceEvent
 	// LowerBoundInput parameterises the §4 steady-state model.
@@ -300,6 +313,22 @@ func WithOnResult(fn func(i int, r Result)) SessionOption { return engine.WithOn
 // counts; within Sweep and Compare the total spans the whole grid.
 // MinBandwidth's open-ended bisection probes do not report progress.
 func WithProgress(fn func(done, total int)) SessionOption { return engine.WithProgress(fn) }
+
+// WithTargetCI enables sequential stopping: every experiment of the
+// session halts at the first replicate boundary where the confidence
+// interval on its estimator mean is no wider than ±halfWidth at the given
+// confidence level, bounded by minRuns and maxRuns (zeros select the
+// TargetCI defaults). MCResult.RunsUsed and MCResult.CIHalfWidth record
+// each experiment's outcome.
+func WithTargetCI(halfWidth, confidence float64, minRuns, maxRuns int) SessionOption {
+	return engine.WithTargetCI(halfWidth, confidence, minRuns, maxRuns)
+}
+
+// WithAntithetic pairs replicates (2i, 2i+1) on the same replicate seed
+// with the odd member drawing complemented uniform streams; the CI
+// estimator and sequential stopping operate on the pair averages while
+// per-run outputs stay per-replicate.
+func WithAntithetic(on bool) SessionOption { return engine.WithAntithetic(on) }
 
 // Run executes one simulation (a single-use Arena under the hood).
 //
