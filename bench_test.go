@@ -155,6 +155,57 @@ func BenchmarkEngine(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchmarkLargeHorizon measures the event-scheduler family on the
+// horizons the Config.Scheduler knob trades over: the standard 60-day
+// scenario, one- and five-year segments (where the calendar queue's
+// amortised O(1) dequeue should pay off), and a cancel-heavy 60-day
+// scenario (3-month node MTBF under Least-Waste, where the heap's
+// O(log n) removal should win) — each on a warm arena under both
+// schedulers, reporting events/sec. The measured crossover behind the
+// auto policy is recorded in BENCH_*.json.
+func BenchmarkLargeHorizon(b *testing.B) {
+	scenarios := []struct {
+		name  string
+		days  float64
+		mtbfY float64
+		strat repro.Strategy
+		long  bool // skipped under -short to keep the CI smoke quick
+	}{
+		{"cielo-60d", 60, 2, repro.OrderedNBDaly(), false},
+		{"cielo-1y", 365, 2, repro.OrderedNBDaly(), false},
+		{"cielo-5y", 5 * 365, 2, repro.OrderedNBDaly(), true},
+		{"cancel-heavy-60d", 60, 0.25, repro.LeastWaste(), false},
+	}
+	for _, sc := range scenarios {
+		for _, sched := range []string{repro.SchedulerHeap4, repro.SchedulerCalendar} {
+			b.Run(fmt.Sprintf("%s/%s", sc.name, sched), func(b *testing.B) {
+				if sc.long && testing.Short() {
+					b.Skip("multi-year horizon skipped in -short mode")
+				}
+				cfg := benchConfig(repro.Cielo(40, sc.mtbfY), sc.strat)
+				cfg.HorizonDays = sc.days
+				cfg.Scheduler = sched
+				arena, err := repro.NewArena(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := arena.Run(1) // warm the pools outside the timer
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := arena.Run(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkMonteCarlo measures Monte-Carlo replicate throughput on the
 // standard scenario — the per-replicate unit of every figure sweep —
 // comparing the reused-arena path (build once, re-seed per replicate; the

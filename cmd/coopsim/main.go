@@ -63,22 +63,35 @@ func main() {
 		antithetic   = flag.Bool("antithetic", false, "antithetic variates: replicate pairs share a seed, the odd member draws complemented streams")
 		paired       = flag.Bool("paired", false, "paired CRN comparison: first strategy is the reference, CI (and -target-ci stopping) on per-replicate differences")
 		benchJSON    = flag.String("bench-json", "", "benchmark the standard scenario and write a machine-readable JSON record to this path ('-' for stdout)")
+		scheduler    = flag.String("scheduler", "auto", "event scheduler: auto, heap4 or calendar (bit-identical results; throughput only)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
+		os.Exit(2)
+	}
+	schedName, err := cliutil.Scheduler(*scheduler)
+	if err != nil {
+		fail(err)
+	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
+
 	if *benchJSON != "" {
 		runBenchJSON(*benchJSON)
+		stopProfiles()
 		return
 	}
 
 	if *list {
 		printRegistry()
 		return
-	}
-
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
-		os.Exit(2)
 	}
 	plat, err := cliutil.Platform(*platformName, *bw, *mtbf)
 	if err != nil {
@@ -109,6 +122,7 @@ func main() {
 		Platform:    plat,
 		Classes:     repro.APEXClasses(),
 		Seed:        *seed,
+		Scheduler:   schedName,
 		HorizonDays: *days,
 	}
 	grid := repro.SweepGrid{Strategies: strategies, Channels: channelCounts}
@@ -205,6 +219,7 @@ func main() {
 		if errors.Is(err, context.Canceled) {
 			cliutil.ExitInterrupted("coopsim", err)
 		}
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -460,6 +475,68 @@ func runBenchJSON(path string) {
 	}
 	antiEff := (plainMC.CIHalfWidth / antiMC.CIHalfWidth) * (plainMC.CIHalfWidth / antiMC.CIHalfWidth)
 
+	// Scheduler family: the large-horizon scenarios where the calendar
+	// queue's amortised O(1) dequeue should pay off, plus a cancel-heavy
+	// one (short node MTBF, Least-Waste's recomputed periods) where the
+	// heap's O(log n) removal should win — each on a warm arena under both
+	// schedulers, so the record documents the measured crossover behind
+	// the auto policy.
+	mkSchedCfg := func(days, mtbfYears float64, strat repro.Strategy) repro.Config {
+		return repro.Config{
+			Platform:    repro.Cielo(40, mtbfYears),
+			Classes:     repro.APEXClasses(),
+			Strategy:    strat,
+			Seed:        1,
+			HorizonDays: days,
+		}
+	}
+	schedScenarios := []struct {
+		name string
+		cfg  repro.Config
+	}{
+		{"cielo-60d", mkSchedCfg(60, 2, repro.OrderedNBDaly())},
+		{"cielo-1y", mkSchedCfg(365, 2, repro.OrderedNBDaly())},
+		{"cielo-5y", mkSchedCfg(5*365, 2, repro.OrderedNBDaly())},
+		{"cancel-heavy-60d", mkSchedCfg(60, 0.25, repro.LeastWaste())},
+	}
+	schedSection := map[string]any{"auto_crossover_days": repro.CalendarAutoHorizonDays}
+	for _, sc := range schedScenarios {
+		row := map[string]any{"horizon_days": sc.cfg.HorizonDays}
+		for _, sched := range repro.SchedulerNames() {
+			if sched == "auto" {
+				continue
+			}
+			c := sc.cfg
+			c.Scheduler = sched
+			arena, err := repro.NewArena(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coopsim: bench: scheduler: %v\n", err)
+				os.Exit(1)
+			}
+			r1, err := arena.Run(1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coopsim: bench: scheduler: %v\n", err)
+				os.Exit(1)
+			}
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := arena.Run(1); err != nil {
+						fmt.Fprintf(os.Stderr, "coopsim: bench: scheduler: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			})
+			row[sched] = map[string]any{
+				"ns_per_op":      br.NsPerOp(),
+				"allocs_per_op":  br.AllocsPerOp(),
+				"events_per_op":  float64(r1.Events),
+				"events_per_sec": float64(r1.Events) / (float64(br.NsPerOp()) / 1e9),
+			}
+		}
+		schedSection[sc.name] = row
+	}
+
 	record := map[string]any{
 		"scenario":       "cielo-40GBps-mtbf2y-ordered-nb-daly-60d",
 		"go":             runtime.Version(),
@@ -469,6 +546,7 @@ func runBenchJSON(path string) {
 		"bytes_per_op":   res.AllocedBytesPerOp(),
 		"events_per_op":  eventsPerOp,
 		"events_per_sec": eventsPerOp / (float64(res.NsPerOp()) / 1e9),
+		"scheduler":      schedSection,
 		"monte_carlo": map[string]any{
 			"arena_replicates_per_sec": 1e9 / float64(arenaRes.NsPerOp()),
 			"arena_allocs_per_op":      arenaRes.AllocsPerOp(),

@@ -40,12 +40,14 @@ type options struct {
 	channels   int
 	quick      bool
 	tsv        bool
+	scheduler  string
 	strategies []repro.Strategy
 }
 
 func main() {
 	opts := options{}
-	var strategySpec, targetCISpec string
+	var strategySpec, targetCISpec, schedulerSpec string
+	var cpuprofile, memprofile string
 	var antithetic bool
 	flag.IntVar(&opts.runs, "runs", 50, "Monte-Carlo replications per point (paper: 1000)")
 	flag.IntVar(&opts.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -60,6 +62,10 @@ func main() {
 		"sequential stopping per sweep point and fig3 probe: halfWidth[:confidence[:minRuns[:maxRuns]]]; -runs becomes the cap")
 	flag.BoolVar(&antithetic, "antithetic", false,
 		"antithetic variates: replicate pairs share a seed, the odd member draws complemented streams")
+	flag.StringVar(&schedulerSpec, "scheduler", "auto",
+		"event scheduler: auto, heap4 or calendar (bit-identical results; throughput only)")
+	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&memprofile, "memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
 
 	if opts.quick {
@@ -79,6 +85,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opts.scheduler, err = cliutil.Scheduler(schedulerSpec)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles, err := cliutil.StartProfiles(cpuprofile, memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	ctx, cancel := cliutil.InterruptContext()
 	defer cancel()
@@ -223,6 +238,7 @@ func fig1(ctx context.Context, session *repro.Session, opts options) {
 		Platform:    repro.Cielo(bws[0], 2),
 		Classes:     repro.APEXClasses(),
 		Seed:        opts.seed,
+		Scheduler:   opts.scheduler,
 		HorizonDays: opts.days,
 		Channels:    opts.channels,
 	}
@@ -247,6 +263,7 @@ func fig2(ctx context.Context, session *repro.Session, opts options) {
 		Platform:    repro.Cielo(40, years[0]),
 		Classes:     repro.APEXClasses(),
 		Seed:        opts.seed,
+		Scheduler:   opts.scheduler,
 		HorizonDays: opts.days,
 		Channels:    opts.channels,
 	}
@@ -287,6 +304,7 @@ func fig3(ctx context.Context, session *repro.Session, opts options) {
 				Classes:     repro.APEXClasses(),
 				Strategy:    strat,
 				Seed:        opts.seed,
+				Scheduler:   opts.scheduler,
 				HorizonDays: opts.days,
 				Channels:    opts.channels,
 			}

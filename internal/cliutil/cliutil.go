@@ -160,8 +160,11 @@ func InterruptContext() (context.Context, context.CancelFunc) {
 
 // ExitInterrupted reports a cancelled campaign on stderr and exits with
 // the conventional SIGINT status. prog names the command, err is the
-// campaign error (typically wrapping context.Canceled).
+// campaign error (typically wrapping context.Canceled). Any profiles
+// started with StartProfiles are flushed first, so an interrupted
+// campaign still yields a usable CPU/heap profile.
 func ExitInterrupted(prog string, err error) {
+	flushProfiles()
 	fmt.Fprintf(os.Stderr, "%s: interrupted (%v); partial output flushed\n", prog, err)
 	os.Exit(130)
 }

@@ -59,7 +59,7 @@ type Arena struct {
 // it. The heavy per-run state is allocated here once; each Run call then
 // reuses it.
 func NewArena(cfg Config) (*Arena, error) {
-	a := &Arena{eng: sim.New()}
+	a := &Arena{}
 	if err := a.Reconfigure(cfg); err != nil {
 		return nil, err
 	}
@@ -88,6 +88,18 @@ func (a *Arena) Reconfigure(cfg Config) error {
 	a.classPeriods = periods
 	a.stratName = cfg.Strategy.Name()
 	a.baseline = nil
+
+	// The event scheduler is resolved from the (validated) knob; the
+	// engine — and with it the event pool and scheduler capacity — is
+	// kept across reconfigurations that do not change the kind, and only
+	// rebuilt when the resolved scheduler differs.
+	kind, err := cfg.schedulerKind()
+	if err != nil {
+		return err
+	}
+	if a.eng == nil || a.eng.Scheduler() != kind {
+		a.eng = sim.NewWith(kind)
+	}
 
 	// The device is dictated by the arbiter's capabilities, not by an
 	// engine-side discipline switch: shared processor sharing for

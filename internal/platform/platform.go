@@ -104,8 +104,17 @@ const NoOwner int32 = -1
 // node failure can be mapped to its victim job. Node identities matter only
 // for that lookup; allocation hands out arbitrary free nodes (the paper's
 // hot-spare policy keeps the pool size constant across failures).
+//
+// Jobs allocate and release thousands of nodes per instance while Owner is
+// consulted only per injected failure, so the map is tuned for the writes:
+// Release leaves stale owner entries behind instead of clearing them
+// (profiling shows that O(q) loop dominating whole-simulation CPU), and
+// Owner filters staleness by checking the job is still live. That requires
+// job ids never be reused while the map is populated — the engine's
+// instance ids are monotone per replicate, and Reset restores a clean
+// slate between replicates.
 type NodeMap struct {
-	owner []int32           // node -> job id, NoOwner if free
+	owner []int32           // node -> last job id allocated there; stale once released
 	free  []int32           // stack of free node indices
 	held  map[int32][]int32 // job id -> nodes held
 	// spare recycles released held-slices so steady-state Allocate calls
@@ -189,14 +198,13 @@ func (m *NodeMap) getSlice(q int) []int32 {
 	return make([]int32, q)
 }
 
-// Release frees all nodes held by the job.
+// Release frees all nodes held by the job. The owner entries are left
+// stale deliberately (Owner filters them); only the free stack and the
+// held map change.
 func (m *NodeMap) Release(job int32) error {
 	nodes, ok := m.held[job]
 	if !ok {
 		return ErrNotAllocated
-	}
-	for _, n := range nodes {
-		m.owner[n] = NoOwner
 	}
 	m.free = append(m.free, nodes...)
 	delete(m.held, job)
@@ -206,7 +214,17 @@ func (m *NodeMap) Release(job int32) error {
 
 // Owner returns the job occupying the given node, or NoOwner if it is free.
 func (m *NodeMap) Owner(node int32) int32 {
-	return m.owner[node]
+	job := m.owner[node]
+	if job == NoOwner {
+		return NoOwner
+	}
+	// A released node keeps its last owner entry; the job being gone from
+	// the held map is what marks the node free. A node reallocated since
+	// has had its entry overwritten by Allocate.
+	if _, live := m.held[job]; !live {
+		return NoOwner
+	}
+	return job
 }
 
 // Holding returns the number of nodes held by the job (0 if none).

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// calEntry pairs the ordering keys with the event inside a bucket. Like
+// the heap's heapEntry, keeping (at, seq, vb) inline means the dequeue
+// scan reads contiguous cache lines instead of dereferencing Event
+// pointers scattered across pool blocks — profiling shows the scan is
+// where the calendar queue spends its time.
+type calEntry struct {
+	at  float64
+	seq uint64
+	vb  int64
+	ev  *Event
+}
+
+// calendarQueue is a calendar queue (Brown, CACM 1988): pending events
+// hash into buckets by virtual time, so schedule and dequeue are
+// amortised O(1) instead of the heap's O(log n). A bucket covers `width`
+// seconds of one calendar "year" of len(buckets)*width seconds; an event
+// at time t lands in bucket (t/width) mod len(buckets), and the dequeue
+// scan walks buckets in virtual-time order, only accepting events whose
+// virtual bucket index matches the scan position — events hashed into the
+// same bucket from later years wait for a later pass.
+//
+// The queue preserves the engine's exact (time, sequence) total order:
+// within the qualifying bucket the scan picks the (at, seq) minimum, and
+// everything in other buckets of the same year is provably later. A
+// simulation therefore fires the identical event sequence under the
+// calendar queue and the heap.
+//
+// Sizing is self-tuning: when occupancy exceeds two events per bucket the
+// bucket array doubles and the width is re-derived from the live events'
+// mean temporal gap (resize is where the auto-tuning lives — a mis-sized
+// width degrades to O(n) scans, a tuned one keeps bucket years at ~1-2
+// events). The array never shrinks: reset keeps the bucket capacity and
+// the learned width, so a reused engine replays the next replicate with
+// zero allocations, mirroring the event pool's free list.
+//
+// The known weak spot is Cancel: removal is a swap-remove within the
+// bucket — O(bucket occupancy), fine when the width is tuned, but the
+// queue has no O(log n) bound the way the indexed heap does. Cancel-heavy
+// workloads should prefer Heap4 (see the README's crossover notes).
+type calendarQueue struct {
+	buckets [][]calEntry
+	mask    int     // len(buckets)-1; len is a power of two
+	width   float64 // seconds of virtual time per bucket
+	inv     float64 // 1/width, so push and scan avoid the division
+	n       int
+	// scanVB is the virtual bucket index (monotone, unmasked) the dequeue
+	// scan stands at: the bucket of the last event handed out. Every
+	// pending event has vb >= scanVB, except transiently when a push lands
+	// behind it, which rewinds the scan.
+	scanVB int64
+	// cached is the known global minimum (nil when it must be
+	// re-searched): a peek followed by the matching pop costs one scan.
+	cached *Event
+	// scratch carries live events across a resize; ats/gaps are work arrays
+	// for the width estimator. All three are retained so repeated resizes
+	// do not allocate.
+	scratch []*Event
+	ats     []float64
+	gaps    []float64
+}
+
+// calInitBuckets is the initial bucket count; calInitWidth the initial
+// bucket width before the first resize tunes it from the live events.
+const (
+	calInitBuckets = 16
+	calInitWidth   = 1.0
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]calEntry, calInitBuckets),
+		mask:    calInitBuckets - 1,
+		width:   calInitWidth,
+		inv:     1 / calInitWidth,
+	}
+}
+
+// vbOf maps a time to its virtual bucket index.
+func (q *calendarQueue) vbOf(at float64) int64 { return int64(at * q.inv) }
+
+// push inserts a scheduled event, growing the bucket array when mean
+// occupancy exceeds two events per bucket.
+func (q *calendarQueue) push(ev *Event) {
+	vb := q.vbOf(ev.at)
+	ev.vb = vb
+	idx := int(vb) & q.mask
+	b := q.buckets[idx]
+	ev.pos = int32(len(b))
+	q.buckets[idx] = append(b, calEntry{at: ev.at, seq: ev.seq, vb: vb, ev: ev})
+	q.n++
+	if vb < q.scanVB {
+		// Scheduled behind the scan position (the clock rested beyond the
+		// last dequeue when this was scheduled): rewind so the scan cannot
+		// walk past it.
+		q.scanVB = vb
+	}
+	if q.cached != nil {
+		if evLess(ev, q.cached) {
+			q.cached = ev
+		}
+	} else if q.n == 1 {
+		q.cached = ev
+	}
+	if q.n > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// min returns the earliest pending event without removing it, nil when
+// none is pending. The result is cached until a pop or a removal of that
+// event invalidates it.
+func (q *calendarQueue) min() *Event {
+	if q.n == 0 {
+		return nil
+	}
+	if q.cached != nil {
+		return q.cached
+	}
+	cur := q.scanVB
+	for steps := 0; steps <= q.mask; steps++ {
+		b := q.buckets[int(cur)&q.mask]
+		var best *calEntry
+		for i := range b {
+			e := &b[i]
+			if e.vb != cur {
+				continue
+			}
+			if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+				best = e
+			}
+		}
+		if best != nil {
+			q.scanVB = cur
+			q.cached = best.ev
+			return best.ev
+		}
+		cur++
+	}
+	// A full circle of empty virtual buckets: the next event lies more
+	// than one calendar year ahead. Direct search, then jump the scan to
+	// it — O(n), but only on sparse far-future gaps.
+	var best *calEntry
+	for bi := range q.buckets {
+		b := q.buckets[bi]
+		for i := range b {
+			e := &b[i]
+			if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+				best = e
+			}
+		}
+	}
+	q.scanVB = best.vb
+	q.cached = best.ev
+	return best.ev
+}
+
+// pop removes and returns the earliest pending event; the caller has
+// established one is pending.
+func (q *calendarQueue) pop() *Event {
+	ev := q.min()
+	q.unlink(ev)
+	q.scanVB = ev.vb
+	q.cached = nil
+	ev.pos = -1
+	return ev
+}
+
+// remove deletes a cancelled event.
+func (q *calendarQueue) remove(ev *Event) {
+	q.unlink(ev)
+	if q.cached == ev {
+		q.cached = nil
+	}
+	ev.pos = -1
+}
+
+// unlink swap-removes the event from its bucket.
+func (q *calendarQueue) unlink(ev *Event) {
+	idx := int(ev.vb) & q.mask
+	b := q.buckets[idx]
+	last := len(b) - 1
+	if i := int(ev.pos); i != last {
+		moved := b[last]
+		b[i] = moved
+		moved.ev.pos = int32(i)
+	}
+	b[last] = calEntry{}
+	q.buckets[idx] = b[:last]
+	q.n--
+}
+
+// resize grows the bucket array to the given power-of-two count and
+// re-derives the bucket width from the live events (see tuneWidth), so
+// dequeue scans stay O(1) as the pending set grows.
+func (q *calendarQueue) resize(buckets int) {
+	q.scratch = q.scratch[:0]
+	q.ats = q.ats[:0]
+	minAt := math.Inf(1)
+	for i, b := range q.buckets {
+		for j := range b {
+			e := &b[j]
+			q.scratch = append(q.scratch, e.ev)
+			q.ats = append(q.ats, e.at)
+			if e.at < minAt {
+				minAt = e.at
+			}
+			b[j] = calEntry{}
+		}
+		q.buckets[i] = b[:0]
+	}
+	if buckets > len(q.buckets) {
+		grown := make([][]calEntry, buckets)
+		copy(grown, q.buckets) // keep the old slices' capacity
+		q.buckets = grown
+		q.mask = buckets - 1
+	}
+	if w := q.tuneWidth(); w > 0 {
+		q.width = w
+		q.inv = 1 / w
+	}
+	q.n = 0
+	q.cached = nil
+	q.scanVB = q.vbOf(minAt)
+	for _, ev := range q.scratch {
+		q.push(ev)
+	}
+}
+
+// tuneWidth derives a bucket width from the live events collected into
+// ats by resize, targeting a few events per bucket near the queue head.
+// The mean gap over the full span is easily skewed by a handful of
+// far-future events (job completions scheduled days beyond the near-term
+// checkpoint traffic), which fattens the width and crowds the head
+// buckets — so the estimator uses the median inter-event gap, which
+// ignores outliers. Returns 0 when there are too few distinct times to
+// estimate, leaving the current width in place.
+func (q *calendarQueue) tuneWidth() float64 {
+	if len(q.ats) < 2 {
+		return 0
+	}
+	sort.Float64s(q.ats)
+	q.gaps = q.gaps[:0]
+	for i := 1; i < len(q.ats); i++ {
+		if g := q.ats[i] - q.ats[i-1]; g > 0 {
+			q.gaps = append(q.gaps, g)
+		}
+	}
+	if len(q.gaps) == 0 {
+		return 0
+	}
+	sort.Float64s(q.gaps)
+	return 4 * q.gaps[len(q.gaps)/2]
+}
+
+// reset empties the queue while keeping the bucket array, each bucket's
+// capacity and the tuned width — the calendar counterpart of the event
+// pool's free-list recycling, so arena replicates stay allocation-free.
+func (q *calendarQueue) reset() {
+	for i, b := range q.buckets {
+		for j := range b {
+			b[j] = calEntry{}
+		}
+		q.buckets[i] = b[:0]
+	}
+	q.n = 0
+	q.scanVB = 0
+	q.cached = nil
+}

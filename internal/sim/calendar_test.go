@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+// noopHandler is a static Handler so scheduling it never allocates.
+type noopHandler struct{}
+
+func (noopHandler) Fire() {}
+
+var noop noopHandler
+
+// TestCalendarResizeAndOrder grows the queue through several resizes
+// (width auto-tunes each time) and verifies the dequeue order stays the
+// exact (time, sequence) total order.
+func TestCalendarResizeAndOrder(t *testing.T) {
+	e := NewWith(Calendar)
+	if e.Scheduler() != Calendar {
+		t.Fatalf("Scheduler() = %v, want Calendar", e.Scheduler())
+	}
+	var fired []float64
+	// A deterministic scramble with heavy ties: 513 events force the
+	// 16-bucket initial array through multiple doublings.
+	const n = 513
+	for i := 0; i < n; i++ {
+		at := float64((i * 7919) % 101)
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunAll()
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestCalendarFarFuture exercises the full-circle fallback: a cluster of
+// near events followed by one more than a calendar year away must still
+// fire, in order, without spinning.
+func TestCalendarFarFuture(t *testing.T) {
+	e := NewWith(Calendar)
+	var fired []float64
+	add := func(at float64) { e.Schedule(at, func() { fired = append(fired, at) }) }
+	for i := 0; i < 40; i++ {
+		add(float64(i))
+	}
+	add(1e7) // far beyond bucketCount*width
+	add(1e7 + 1)
+	e.RunAll()
+	if len(fired) != 42 {
+		t.Fatalf("fired %d events, want 42", len(fired))
+	}
+	if fired[40] != 1e7 || fired[41] != 1e7+1 {
+		t.Fatalf("far-future events fired as %v, %v", fired[40], fired[41])
+	}
+}
+
+// TestCalendarCancel verifies swap-remove cancellation keeps the bucket
+// structure consistent (mirrors the heap's cancel-inside-handler test).
+func TestCalendarCancel(t *testing.T) {
+	e := NewWith(Calendar)
+	var victims []*Event
+	var fired []float64
+	for _, at := range []float64{10, 20, 30, 40} {
+		victims = append(victims, e.Schedule(at, func() { fired = append(fired, at) }))
+	}
+	e.Schedule(5, func() {
+		victims[1].Cancel()
+		victims[3].Cancel()
+	})
+	e.RunAll()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 30 {
+		t.Fatalf("fired %v, want [10 30]", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after RunAll, want 0", e.Pending())
+	}
+}
+
+// TestCalendarResetKeepsCapacity pins the satellite requirement: after a
+// warm replicate, Reset retains the bucket array, per-bucket capacity and
+// tuned width, so replaying the same schedule allocates nothing — the
+// calendar counterpart of the event pool's free-list recycling.
+func TestCalendarResetKeepsCapacity(t *testing.T) {
+	e := NewWith(Calendar)
+	load := func() {
+		for i := 0; i < 500; i++ {
+			e.ScheduleHandler(float64((i*7919)%997)*50, noop)
+		}
+		e.RunAll()
+	}
+	load()
+	e.Reset()
+	allocs := testing.AllocsPerRun(5, func() {
+		load()
+		e.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm calendar replicate allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestCalendarSteadyStateZeroAllocs mirrors the heap's steady-state test:
+// the schedule→fire hot path allocates nothing once the pool is warm.
+func TestCalendarSteadyStateZeroAllocs(t *testing.T) {
+	e := NewWith(Calendar)
+	h := &countingHandler{e: e, limit: 1 << 30}
+	e.ScheduleHandler(0, h)
+	e.Step() // warm the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state calendar Step allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestSchedulerByName pins the scheduler registry names.
+func TestSchedulerByName(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		k, ok := SchedulerByName(name)
+		if !ok {
+			t.Fatalf("SchedulerByName(%q) not found", name)
+		}
+		if k.String() != name {
+			t.Fatalf("kind %v stringifies as %q, want %q", k, k.String(), name)
+		}
+		if NewWith(k).Scheduler() != k {
+			t.Fatalf("NewWith(%v).Scheduler() != %v", k, k)
+		}
+	}
+	if _, ok := SchedulerByName("splay"); ok {
+		t.Fatal("SchedulerByName accepted an unknown name")
+	}
+}

@@ -182,6 +182,131 @@ func TestFIFOFuzzAgainstReference(t *testing.T) {
 	}
 }
 
+// TestSchedulerFuzzCrossValidation drives random interleavings of
+// schedules, cancels, partial runs and engine resets through the heap4
+// engine, the calendar engine and the naive sorted-list reference, and
+// requires all three to fire the identical event sequence — the total
+// (time, sequence) order, FIFO within an instant, with resets dropping
+// exactly the still-pending events.
+func TestSchedulerFuzzCrossValidation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		engines := []*Engine{NewWith(Heap4), NewWith(Calendar)}
+		orders := make([][]int, len(engines))
+		var expect []int // expected fire order, flushed per reset segment
+		var ref []refEvent
+		var handles [][]*Event // handles[e][k] is event k's handle in engine e
+		for range engines {
+			handles = append(handles, nil)
+		}
+		var dead []bool // fired or cancelled in the current segment
+
+		// flushSegment sorts the segment's live reference entries into the
+		// expected order and starts a fresh segment.
+		flushSegment := func() {
+			live := ref[:0:0]
+			for _, rv := range ref {
+				if !rv.cancelled {
+					live = append(live, rv)
+				}
+			}
+			sort.SliceStable(live, func(i, j int) bool {
+				if live[i].at != live[j].at {
+					return live[i].at < live[j].at
+				}
+				return live[i].seq < live[j].seq
+			})
+			for _, rv := range live {
+				expect = append(expect, rv.seq)
+			}
+			ref = ref[:0]
+			for e := range handles {
+				handles[e] = handles[e][:0]
+			}
+			dead = dead[:0]
+		}
+
+		id := 0
+		n := 200 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			switch op := r.Intn(12); {
+			case op == 0 && len(handles[0]) > 0:
+				// Cancel a random still-live event in both engines.
+				k := r.Intn(len(handles[0]))
+				if !dead[k] {
+					for e := range engines {
+						handles[e][k].Cancel()
+					}
+					dead[k] = true
+					ref[k].cancelled = true
+				}
+			case op == 1:
+				// Reset both engines: pending events vanish, clocks and
+				// sequence counters restart, capacity is retained.
+				for k := range dead {
+					if !dead[k] {
+						dead[k] = true
+						ref[k].cancelled = true
+					}
+				}
+				flushSegment()
+				for _, e := range engines {
+					e.Reset()
+				}
+			default:
+				// Coarse offsets force plenty of same-instant ties; the
+				// occasional huge offset exercises the calendar queue's
+				// far-future fallback scan.
+				off := float64(r.Intn(20))
+				if r.Intn(25) == 0 {
+					off = float64(1000 + r.Intn(5000))
+				}
+				at := engines[0].Now() + off
+				k := len(ref)
+				gid := id
+				id++
+				for e := range engines {
+					handles[e] = append(handles[e], engines[e].Schedule(at, func() {
+						orders[e] = append(orders[e], gid)
+						dead[k] = true
+					}))
+				}
+				ref = append(ref, refEvent{at: at, seq: gid})
+				dead = append(dead, false)
+			}
+			if r.Intn(10) == 0 {
+				until := engines[0].Now() + float64(r.Intn(10))
+				for _, e := range engines {
+					e.Run(until)
+				}
+			}
+		}
+		for _, e := range engines {
+			e.RunAll()
+		}
+		flushSegment()
+
+		for e := range engines {
+			if len(orders[e]) != len(expect) {
+				t.Logf("engine %v fired %d events, reference expects %d",
+					engines[e].Scheduler(), len(orders[e]), len(expect))
+				return false
+			}
+			for i, want := range expect {
+				if orders[e][i] != want {
+					t.Logf("engine %v fired %d at position %d, reference expects %d",
+						engines[e].Scheduler(), orders[e][i], i, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestHandlerScheduling exercises the allocation-free Handler path.
 type countingHandler struct {
 	e     *Engine

@@ -6,13 +6,27 @@
 // random seed — a requirement for the reproducible Monte-Carlo experiments
 // of the paper.
 //
-// The queue is an intrusive 4-ary indexed heap over pooled Event structs:
-// scheduling recycles events through a free list (amortised zero
+// The pending queue is a pluggable scheduler behind one total order,
+// (time, sequence): earliest first, FIFO within an instant. Two
+// implementations ship:
+//
+//   - Heap4 (the default): an intrusive 4-ary indexed heap — O(log n)
+//     schedule and cancel, with the ordering keys stored inline in the
+//     heap array so sift comparisons never chase Event pointers.
+//   - Calendar: a calendar queue (Brown 1988) — amortised O(1) schedule
+//     and dequeue over bucketed virtual time, with the bucket width
+//     auto-tuned on resize. Cancellation is O(bucket) by swap-remove.
+//
+// Both dispatch the identical (time, sequence) order, so a simulation is
+// bit-identical under either scheduler; the choice is purely a throughput
+// trade documented in the repository README ("Event scheduler").
+//
+// Scheduling recycles events through a free list (amortised zero
 // allocations on the hot path), and cancellation removes the event from
-// the heap in O(log n) instead of leaving a tombstone. Work is dispatched
-// through the small Handler interface; long-lived simulation objects
-// implement it once and are scheduled allocation-free, while the Action
-// closure adapter keeps the convenient func-based API.
+// the queue instead of leaving a tombstone. Work is dispatched through the
+// small Handler interface; long-lived simulation objects implement it once
+// and are scheduled allocation-free, while the Action closure adapter
+// keeps the convenient func-based API.
 package sim
 
 import (
@@ -34,6 +48,46 @@ type Action func()
 
 // Fire implements Handler.
 func (a Action) Fire() { a() }
+
+// SchedulerKind selects the pending-queue implementation of an Engine.
+type SchedulerKind uint8
+
+const (
+	// Heap4 is the intrusive 4-ary indexed heap: O(log n) schedule and
+	// cancel, the fastest choice for the small-to-medium pending sets of
+	// the paper's scenarios and for cancel-heavy workloads.
+	Heap4 SchedulerKind = iota
+	// Calendar is the bucketed calendar queue: amortised O(1) schedule
+	// and dequeue, width-tuned on resize — built for long horizons where
+	// total event counts run into the hundreds of millions.
+	Calendar
+)
+
+// String returns the scheduler's registry name.
+func (k SchedulerKind) String() string {
+	switch k {
+	case Heap4:
+		return "heap4"
+	case Calendar:
+		return "calendar"
+	}
+	return fmt.Sprintf("scheduler(%d)", k)
+}
+
+// SchedulerByName resolves a scheduler registry name ("heap4",
+// "calendar").
+func SchedulerByName(name string) (SchedulerKind, bool) {
+	switch name {
+	case "heap4":
+		return Heap4, true
+	case "calendar":
+		return Calendar, true
+	}
+	return 0, false
+}
+
+// SchedulerNames returns the scheduler registry names in kind order.
+func SchedulerNames() []string { return []string{"heap4", "calendar"} }
 
 // Event states. A pooled event cycles free → scheduled → (firing →
 // fired | cancelled) → free.
@@ -59,7 +113,12 @@ type Event struct {
 	seq uint64
 	h   Handler
 	eng *Engine
-	// pos is the index in the engine's heap array, -1 when not queued.
+	// vb is the calendar queue's virtual bucket index (monotone in at,
+	// computed once at schedule time so qualify checks in the dequeue
+	// scan avoid a division). Unused by the heap.
+	vb int64
+	// pos is the index in the owning container: the heap array slot, or
+	// the position within the calendar bucket; -1 when not queued.
 	pos   int32
 	state uint8
 	// next links the engine's free list.
@@ -69,30 +128,45 @@ type Event struct {
 // Time returns the instant the event is scheduled for.
 func (e *Event) Time() float64 { return e.at }
 
-// Cancel prevents the event from firing, removing it from the queue in
-// O(log n). Cancelling an already-fired, already-cancelled, or
-// currently-firing event is a no-op.
+// Cancel prevents the event from firing, removing it from the queue —
+// O(log n) on the heap, O(bucket) on the calendar queue. Cancelling an
+// already-fired, already-cancelled, or currently-firing event is a no-op.
 func (e *Event) Cancel() {
 	if e.state != stateScheduled {
 		return
 	}
 	e.state = stateCancelled
-	e.eng.heap.remove(int(e.pos))
-	e.eng.put(e)
+	eng := e.eng
+	if eng.cal != nil {
+		eng.cal.remove(e)
+	} else {
+		eng.heap.remove(int(e.pos))
+	}
+	eng.put(e)
 }
 
 // Cancelled reports whether the event has been cancelled.
 func (e *Event) Cancelled() bool { return e.state == stateCancelled }
 
+// evLess is the engine's total order: (time, sequence).
+func evLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // eventBlockSize is how many Events one pool refill allocates at once.
 const eventBlockSize = 64
 
-// Engine is a discrete-event executor. The zero value is ready to use and
-// starts at time 0.
+// Engine is a discrete-event executor. The zero value is ready to use,
+// starts at time 0, and schedules through the default Heap4 scheduler;
+// NewWith selects the scheduler explicitly.
 type Engine struct {
 	now      float64
 	seq      uint64
 	heap     heap4
+	cal      *calendarQueue // nil under Heap4
 	executed uint64
 	// free is the head of the recycled-event list; freeN its length.
 	free  *Event
@@ -101,8 +175,26 @@ type Engine struct {
 	allocated int
 }
 
-// New returns an engine with its clock at 0.
+// New returns an engine with its clock at 0 and the default Heap4
+// scheduler.
 func New() *Engine { return &Engine{} }
+
+// NewWith returns an engine with its clock at 0 and the given scheduler.
+func NewWith(kind SchedulerKind) *Engine {
+	e := &Engine{}
+	if kind == Calendar {
+		e.cal = newCalendarQueue()
+	}
+	return e
+}
+
+// Scheduler reports which pending-queue implementation the engine runs.
+func (e *Engine) Scheduler() SchedulerKind {
+	if e.cal != nil {
+		return Calendar
+	}
+	return Heap4
+}
 
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -112,27 +204,45 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of scheduled events that have neither fired
 // nor been cancelled.
-func (e *Engine) Pending() int { return e.heap.len() }
+func (e *Engine) Pending() int {
+	if e.cal != nil {
+		return e.cal.n
+	}
+	return len(e.heap.e)
+}
 
 // PoolStats returns the number of Event structs ever allocated and the
 // number currently idle on the free list.
 func (e *Engine) PoolStats() (allocated, free int) { return e.allocated, e.freeN }
 
 // Reset returns the engine to the pristine clock-zero state while retaining
-// the event pool and heap capacity, so a reused engine schedules its next
-// simulation without allocating. Still-scheduled events are recycled as if
-// cancelled; stale handles held by callers become no-ops (Cancel on a
-// non-scheduled event does nothing) and must be dropped, exactly as after a
-// fire. The sequence counter restarts at 0, so a reset engine orders
-// same-instant events identically to a fresh one — the property the
-// bit-identical Monte-Carlo replicates of package engine rely on.
+// the event pool and scheduler capacity (heap array, calendar buckets and
+// tuned bucket width), so a reused engine schedules its next simulation
+// without allocating. Still-scheduled events are recycled as if cancelled;
+// stale handles held by callers become no-ops (Cancel on a non-scheduled
+// event does nothing) and must be dropped, exactly as after a fire. The
+// sequence counter restarts at 0, so a reset engine orders same-instant
+// events identically to a fresh one — the property the bit-identical
+// Monte-Carlo replicates of package engine rely on.
 func (e *Engine) Reset() {
-	for i, ev := range e.heap.ev {
-		e.heap.ev[i] = nil
-		ev.state = stateCancelled
-		e.put(ev)
+	if e.cal != nil {
+		for _, b := range e.cal.buckets {
+			for i := range b {
+				ev := b[i].ev
+				ev.state = stateCancelled
+				e.put(ev)
+			}
+		}
+		e.cal.reset()
+	} else {
+		for i := range e.heap.e {
+			ev := e.heap.e[i].ev
+			e.heap.e[i] = heapEntry{}
+			ev.state = stateCancelled
+			e.put(ev)
+		}
+		e.heap.e = e.heap.e[:0]
 	}
-	e.heap.ev = e.heap.ev[:0]
 	e.now, e.seq, e.executed = 0, 0, 0
 }
 
@@ -186,7 +296,11 @@ func (e *Engine) ScheduleHandler(at float64, h Handler) *Event {
 	ev.eng = e
 	ev.state = stateScheduled
 	e.seq++
-	e.heap.push(ev)
+	if e.cal != nil {
+		e.cal.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
 	return ev
 }
 
@@ -206,19 +320,45 @@ func (e *Engine) AfterHandler(d float64, h Handler) *Event {
 	return e.ScheduleHandler(e.now+d, h)
 }
 
-// Step fires the next pending event, if any, advancing the clock to its
-// time. It reports whether an event was fired.
-func (e *Engine) Step() bool {
-	if e.heap.len() == 0 {
-		return false
+// peekMin returns the earliest pending event without removing it, nil
+// when none is pending. The calendar queue caches the found minimum, so a
+// peek followed by the matching pop costs one scan, not two.
+func (e *Engine) peekMin() *Event {
+	if e.cal != nil {
+		return e.cal.min()
 	}
-	ev := e.heap.popMin()
+	if len(e.heap.e) == 0 {
+		return nil
+	}
+	return e.heap.e[0].ev
+}
+
+// popMin removes and returns the earliest pending event; the caller has
+// established one is pending.
+func (e *Engine) popMin() *Event {
+	if e.cal != nil {
+		return e.cal.pop()
+	}
+	return e.heap.popMin()
+}
+
+// fire dispatches one dequeued event and recycles it.
+func (e *Engine) fire(ev *Event) {
 	ev.state = stateFiring
 	e.now = ev.at
 	e.executed++
 	ev.h.Fire()
 	ev.state = stateFired
 	e.put(ev)
+}
+
+// Step fires the next pending event, if any, advancing the clock to its
+// time. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if e.Pending() == 0 {
+		return false
+	}
+	e.fire(e.popMin())
 	return true
 }
 
@@ -227,8 +367,12 @@ func (e *Engine) Step() bool {
 // the number of events fired.
 func (e *Engine) Run(until float64) uint64 {
 	fired := uint64(0)
-	for e.heap.len() > 0 && e.heap.min().at <= until {
-		e.Step()
+	for {
+		ev := e.peekMin()
+		if ev == nil || ev.at > until {
+			break
+		}
+		e.fire(e.popMin())
 		fired++
 	}
 	if until > e.now {
@@ -252,20 +396,27 @@ func (e *Engine) RunAll() uint64 {
 	return fired
 }
 
+// heapEntry pairs the ordering key with its event. Keeping (at, seq)
+// inline in the heap array is a locality optimization: a sift-down
+// compares the four children from at most two contiguous cache lines
+// instead of dereferencing four Event pointers scattered across pool
+// blocks.
+type heapEntry struct {
+	at  float64
+	seq uint64
+	ev  *Event
+}
+
 // heap4 is an intrusive 4-ary min-heap ordered by (time, sequence):
 // earliest first, FIFO within an instant. Each queued Event carries its
 // own array index, so removal from the middle (cancellation) is O(log n).
-// The wider fan-out halves the tree depth of the binary heap and keeps
-// sift-down comparisons within one cache line of children.
+// The wider fan-out halves the tree depth of the binary heap.
 type heap4 struct {
-	ev []*Event
+	e []heapEntry
 }
 
-func (h *heap4) len() int    { return len(h.ev) }
-func (h *heap4) min() *Event { return h.ev[0] }
-
-// less orders by (time, sequence).
-func less(a, b *Event) bool {
+// entryLess orders by (time, sequence).
+func entryLess(a, b *heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -273,31 +424,31 @@ func less(a, b *Event) bool {
 }
 
 func (h *heap4) push(ev *Event) {
-	h.ev = append(h.ev, ev)
-	h.up(len(h.ev) - 1)
+	h.e = append(h.e, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
+	h.up(len(h.e) - 1)
 }
 
-// up sifts the event at index i toward the root.
+// up sifts the entry at index i toward the root.
 func (h *heap4) up(i int) {
-	ev := h.ev[i]
+	en := h.e[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !less(ev, h.ev[p]) {
+		if !entryLess(&en, &h.e[p]) {
 			break
 		}
-		h.ev[i] = h.ev[p]
-		h.ev[i].pos = int32(i)
+		h.e[i] = h.e[p]
+		h.e[i].ev.pos = int32(i)
 		i = p
 	}
-	h.ev[i] = ev
-	ev.pos = int32(i)
+	h.e[i] = en
+	en.ev.pos = int32(i)
 }
 
-// down sifts the event at index i toward the leaves. It reports whether
-// the event moved.
+// down sifts the entry at index i toward the leaves. It reports whether
+// the entry moved.
 func (h *heap4) down(i int) bool {
-	n := len(h.ev)
-	ev := h.ev[i]
+	n := len(h.e)
+	en := h.e[i]
 	start := i
 	for {
 		c := i<<2 + 1
@@ -310,54 +461,54 @@ func (h *heap4) down(i int) bool {
 			end = n
 		}
 		for k := c + 1; k < end; k++ {
-			if less(h.ev[k], h.ev[m]) {
+			if entryLess(&h.e[k], &h.e[m]) {
 				m = k
 			}
 		}
-		if !less(h.ev[m], ev) {
+		if !entryLess(&h.e[m], &en) {
 			break
 		}
-		h.ev[i] = h.ev[m]
-		h.ev[i].pos = int32(i)
+		h.e[i] = h.e[m]
+		h.e[i].ev.pos = int32(i)
 		i = m
 	}
-	h.ev[i] = ev
-	ev.pos = int32(i)
+	h.e[i] = en
+	en.ev.pos = int32(i)
 	return i != start
 }
 
 // popMin removes and returns the earliest event.
 func (h *heap4) popMin() *Event {
-	ev := h.ev[0]
-	last := len(h.ev) - 1
-	moved := h.ev[last]
-	h.ev[last] = nil
-	h.ev = h.ev[:last]
+	ev := h.e[0].ev
+	last := len(h.e) - 1
+	moved := h.e[last]
+	h.e[last] = heapEntry{}
+	h.e = h.e[:last]
 	if last > 0 {
-		h.ev[0] = moved
-		moved.pos = 0
+		h.e[0] = moved
+		moved.ev.pos = 0
 		h.down(0)
 	}
 	ev.pos = -1
 	return ev
 }
 
-// remove deletes the event at index i, restoring heap order around the
+// remove deletes the entry at index i, restoring heap order around the
 // element swapped into its place.
 func (h *heap4) remove(i int) {
-	ev := h.ev[i]
-	last := len(h.ev) - 1
+	ev := h.e[i].ev
+	last := len(h.e) - 1
 	if i == last {
-		h.ev[last] = nil
-		h.ev = h.ev[:last]
+		h.e[last] = heapEntry{}
+		h.e = h.e[:last]
 		ev.pos = -1
 		return
 	}
-	moved := h.ev[last]
-	h.ev[last] = nil
-	h.ev = h.ev[:last]
-	h.ev[i] = moved
-	moved.pos = int32(i)
+	moved := h.e[last]
+	h.e[last] = heapEntry{}
+	h.e = h.e[:last]
+	h.e[i] = moved
+	moved.ev.pos = int32(i)
 	if !h.down(i) {
 		h.up(i)
 	}
