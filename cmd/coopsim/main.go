@@ -23,6 +23,8 @@
 //	coopsim -platform prospective -bw 2000 -mtbf 15  # future system
 //	coopsim -tsv > results.tsv                       # machine-readable
 //	coopsim -bench-json BENCH.json                   # perf-trajectory record
+//	coopsim -sweep-bw 40:160:20 -journal c.journal   # crash-safe campaign
+//	coopsim -sweep-bw 40:160:20 -journal c.journal -resume  # continue it
 package main
 
 import (
@@ -33,11 +35,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"testing"
 
 	"repro"
+	"repro/internal/campaign"
 	"repro/internal/cliutil"
 	"repro/internal/units"
 )
@@ -67,6 +71,7 @@ func main() {
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
+	campaignFlags := cliutil.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -148,30 +153,11 @@ func main() {
 	ctx, cancel := cliutil.InterruptContext()
 	defer cancel()
 
-	// Exact candlesticks need only the waste ratios; the per-run
-	// Result structs are materialised solely for -breakdown.
-	session := repro.NewSession(
-		repro.WithWorkers(*workers),
-		repro.WithKeepWasteRatios(true),
-		repro.WithKeepResults(*breakdown),
-		repro.WithAntithetic(*antithetic),
-		repro.WithTargetCI(tci.HalfWidth, tci.Confidence, tci.MinRuns, tci.MaxRuns),
-	)
-
-	if *paired {
-		// The paired comparison is a single-scenario experiment: the
-		// differences only pair when every strategy sees one scenario.
-		if *sweepBW != "" || *sweepMTBF != "" || len(channelCounts) != 1 {
-			fail(fmt.Errorf("-paired needs a single scenario point (no sweeps, one -channels count)"))
-		}
-		base.Channels = channelCounts[0]
-		runPaired(ctx, session, base, strategies, *runs, *tsv)
-		return
-	}
-
 	nStrats := len(strategies)
-	points, errf := session.Sweep(ctx, base, grid, *runs)
-	for pt, mc := range points {
+	// printRow renders one grid cell; printTheory the §4 bound closing
+	// each scenario block. Shared by the plain-session and campaign
+	// paths.
+	printRow := func(pt repro.SweepPoint, mc repro.MCResult) {
 		bwGBps := pt.BandwidthBps / units.GB
 		mtbfYears := pt.NodeMTBFSeconds / units.Year
 		p := base.Platform
@@ -196,24 +182,76 @@ func main() {
 				printBreakdown(mc)
 			}
 		}
-		if *theory && (pt.Index+1)%nStrats == 0 {
-			sol, err := repro.LowerBound(p, repro.APEXClasses())
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "coopsim: lower bound: %v\n", err)
-				os.Exit(1)
-			}
-			if *tsv {
-				// Columns match tsvHeader: n=1, stddev=0, every order
-				// statistic collapses to the deterministic bound, and the
-				// trailing runs_used/ci_half_width pair is 1/0 — the bound
-				// costs one evaluation and carries no Monte-Carlo error.
-				fmt.Printf("Theoretical-Model\t%g\t%g\t%d\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t1\t0\n",
-					bwGBps, mtbfYears, pt.Channels, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
-			} else {
-				fmt.Printf("%-20s %8.4f   (λ=%.4g, F=%.3f, constrained=%v)\n",
-					"Theoretical-Model", sol.Waste, sol.Lambda, sol.IOFraction, sol.Constrained)
-			}
+	}
+	printTheory := func(pt repro.SweepPoint) {
+		if !*theory || (pt.Index+1)%nStrats != 0 {
+			return
 		}
+		bwGBps := pt.BandwidthBps / units.GB
+		mtbfYears := pt.NodeMTBFSeconds / units.Year
+		p := base.Platform
+		p.BandwidthBps = pt.BandwidthBps
+		p.NodeMTBFSeconds = pt.NodeMTBFSeconds
+		sol, err := repro.LowerBound(p, repro.APEXClasses())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coopsim: lower bound: %v\n", err)
+			os.Exit(1)
+		}
+		if *tsv {
+			// Columns match tsvHeader: n=1, stddev=0, every order
+			// statistic collapses to the deterministic bound, and the
+			// trailing runs_used/ci_half_width pair is 1/0 — the bound
+			// costs one evaluation and carries no Monte-Carlo error.
+			fmt.Printf("Theoretical-Model\t%g\t%g\t%d\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t1\t0\n",
+				bwGBps, mtbfYears, pt.Channels, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
+		} else {
+			fmt.Printf("%-20s %8.4f   (λ=%.4g, F=%.3f, constrained=%v)\n",
+				"Theoretical-Model", sol.Waste, sol.Lambda, sol.IOFraction, sol.Constrained)
+		}
+	}
+
+	if campaignFlags.Enabled() {
+		// The campaign layer owns its streaming session (the only path
+		// with O(1) resumable state), so the exact-candlestick and
+		// per-run-detail options are out: quantiles beyond 64 runs are
+		// online P² estimates, and -breakdown/-paired need per-run data
+		// the journal never stores.
+		if *breakdown || *paired {
+			fail(fmt.Errorf("-journal/-resume/-retry/-point-timeout run the streaming campaign path; -breakdown and -paired are not supported there"))
+		}
+		copts, err := campaignFlags.CampaignOptions("", *workers, *antithetic, tci, nil)
+		if err != nil {
+			fail(err)
+		}
+		runCampaign(ctx, copts, base, grid, *runs, stopProfiles, printRow, printTheory)
+		return
+	}
+
+	// Exact candlesticks need only the waste ratios; the per-run
+	// Result structs are materialised solely for -breakdown.
+	session := repro.NewSession(
+		repro.WithWorkers(*workers),
+		repro.WithKeepWasteRatios(true),
+		repro.WithKeepResults(*breakdown),
+		repro.WithAntithetic(*antithetic),
+		repro.WithTargetCI(tci.HalfWidth, tci.Confidence, tci.MinRuns, tci.MaxRuns),
+	)
+
+	if *paired {
+		// The paired comparison is a single-scenario experiment: the
+		// differences only pair when every strategy sees one scenario.
+		if *sweepBW != "" || *sweepMTBF != "" || len(channelCounts) != 1 {
+			fail(fmt.Errorf("-paired needs a single scenario point (no sweeps, one -channels count)"))
+		}
+		base.Channels = channelCounts[0]
+		runPaired(ctx, session, base, strategies, *runs, *tsv)
+		return
+	}
+
+	points, errf := session.Sweep(ctx, base, grid, *runs)
+	for pt, mc := range points {
+		printRow(pt, mc)
+		printTheory(pt)
 	}
 	if err := errf(); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -222,6 +260,51 @@ func main() {
 		stopProfiles()
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runCampaign drives the grid through the durable campaign layer:
+// journaled progress, per-point retry/quarantine, circuit breaking. Rows
+// print as on the plain path; failed and skipped points go to stderr and
+// make the command exit non-zero after the whole grid has been given its
+// chance — one poisoned point does not abort a sweep.
+func runCampaign(ctx context.Context, copts campaign.Options, base repro.Config, grid repro.SweepGrid, runs int, stopProfiles func(), printRow func(repro.SweepPoint, repro.MCResult), printTheory func(repro.SweepPoint)) {
+	seq, errf := campaign.New(copts).RunSweep(ctx, base, grid, runs)
+	restored, failed, skipped := 0, 0, 0
+	for pr := range seq {
+		switch pr.Status {
+		case campaign.StatusDone:
+			if pr.Restored {
+				restored++
+			}
+			printRow(pr.Point, pr.MC)
+		case campaign.StatusFailed:
+			failed++
+			fmt.Fprintf(os.Stderr, "coopsim: %v\n", pr.Err)
+		case campaign.StatusSkipped:
+			skipped++
+			fmt.Fprintf(os.Stderr, "coopsim: point %d (%s) skipped: %v\n",
+				pr.Point.Index, pr.Point.Strategy.Name(), pr.Err)
+		}
+		printTheory(pr.Point)
+	}
+	if err := errf(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The journal is already sealed durable by the campaign's
+			// close path: Ctrl-C + -resume loses no completed work.
+			cliutil.ExitInterrupted("coopsim", err)
+		}
+		stopProfiles()
+		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
+		os.Exit(1)
+	}
+	if restored > 0 {
+		fmt.Fprintf(os.Stderr, "coopsim: %d point(s) restored from journal\n", restored)
+	}
+	if failed > 0 || skipped > 0 {
+		stopProfiles()
+		fmt.Fprintf(os.Stderr, "coopsim: campaign degraded: %d failed, %d skipped point(s); rerun with -resume to retry them\n", failed, skipped)
+		os.Exit(3)
 	}
 }
 
@@ -537,6 +620,48 @@ func runBenchJSON(path string) {
 		schedSection[sc.name] = row
 	}
 
+	// Journaling overhead on the standard 60-day Cielo scenario: the
+	// campaign layer with per-replicate snapshots and batched fsyncs to a
+	// temp-file journal against the bare streaming session. The acceptance
+	// bar for the resilience layer is <= 5% replicate-throughput cost.
+	journalDir, err := os.MkdirTemp("", "coopsim-bench-journal")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coopsim: bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(journalDir)
+	// Both arms run a cold single-use campaign (a journal file is
+	// single-use by design), so the one-time arena build amortises
+	// identically and the delta isolates the journaling cost:
+	// per-replicate snapshot marshalling + CRC framing + batched fsyncs.
+	journalSeq := 0
+	benchCampaign := func(journaled bool) testing.BenchmarkResult {
+		// Best of three: each arm's replicate cost is the minimum over
+		// repeated runs, so transient machine noise between the two arms
+		// does not masquerade as journaling overhead.
+		var best testing.BenchmarkResult
+		for rep := 0; rep < 3; rep++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				copts := campaign.Options{Workers: 1}
+				if journaled {
+					journalSeq++
+					copts.JournalPath = filepath.Join(journalDir, strconv.Itoa(journalSeq)+".journal")
+				}
+				if _, err := campaign.New(copts).Run(ctx, cfg, b.N); err != nil {
+					fmt.Fprintf(os.Stderr, "coopsim: bench: journal: %v\n", err)
+					os.Exit(1)
+				}
+			})
+			if rep == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		return best
+	}
+	unjournaledRes := benchCampaign(false)
+	journaledRes := benchCampaign(true)
+	journalOverhead := float64(journaledRes.NsPerOp())/float64(unjournaledRes.NsPerOp()) - 1
+
 	record := map[string]any{
 		"scenario":       "cielo-40GBps-mtbf2y-ordered-nb-daly-60d",
 		"go":             runtime.Version(),
@@ -555,6 +680,12 @@ func runBenchJSON(path string) {
 			"fresh_allocs_per_op":      freshRes.AllocsPerOp(),
 			"fresh_bytes_per_op":       freshRes.AllocedBytesPerOp(),
 			"arena_by_channels":        perChannel,
+		},
+		"journal_overhead": map[string]any{
+			"scenario":                       "cielo-40GBps-mtbf2y-ordered-nb-daly-60d, snapshot cadence 8, fsync batch 16",
+			"journaled_replicates_per_sec":   1e9 / float64(journaledRes.NsPerOp()),
+			"unjournaled_replicates_per_sec": 1e9 / float64(unjournaledRes.NsPerOp()),
+			"overhead_frac":                  journalOverhead,
 		},
 		"session": map[string]any{
 			"replicates_per_sec":          1e9 / float64(sessionRes.NsPerOp()),

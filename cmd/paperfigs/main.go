@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/campaign"
 	"repro/internal/cliutil"
 	"repro/internal/units"
 )
@@ -42,6 +43,9 @@ type options struct {
 	tsv        bool
 	scheduler  string
 	strategies []repro.Strategy
+	antithetic bool
+	targetCI   repro.TargetCI
+	campaign   *cliutil.CampaignFlags
 }
 
 func main() {
@@ -66,6 +70,7 @@ func main() {
 		"event scheduler: auto, heap4 or calendar (bit-identical results; throughput only)")
 	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap (allocs) profile to this file on exit")
+	opts.campaign = cliutil.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
 
 	if opts.quick {
@@ -85,6 +90,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opts.antithetic = antithetic
+	opts.targetCI = tci
 	opts.scheduler, err = cliutil.Scheduler(schedulerSpec)
 	if err != nil {
 		fatal(err)
@@ -130,6 +137,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown command %q (table1|fig1|fig2|fig3|all)\n", cmd)
 		os.Exit(2)
+	}
+	if degradedPoints > 0 {
+		stopProfiles()
+		fmt.Fprintf(os.Stderr, "paperfigs: campaign degraded: %d quarantined/skipped point(s); rerun with -resume to retry them\n", degradedPoints)
+		os.Exit(3)
 	}
 }
 
@@ -178,15 +190,22 @@ func table1(opts options) {
 	fmt.Println()
 }
 
+// degradedPoints counts quarantined or breaker-skipped campaign points
+// across all figures; main exits non-zero when any figure is incomplete.
+var degradedPoints int
+
 // runSweep pulls a scenario grid through the shared session — one warm
 // set of per-worker simulation arenas serves every (scenario × strategy)
 // cell — printing one row per strategy and the §4 theory bound after each
 // scenario's block. axisValue maps a sweep point to the printed x-axis
-// figure.
-func runSweep(ctx context.Context, session *repro.Session, opts options, base repro.Config, grid repro.SweepGrid, axis string, axisValue func(repro.SweepPoint) float64) {
+// figure. With any campaign flag set the grid routes through the durable
+// campaign layer instead: progress journals to "<-journal>.<fig>" (each
+// figure is its own campaign with its own fingerprint), -resume replays
+// completed points and restarts the partial one mid-replication, and
+// failed points are quarantined on stderr while the figure completes.
+func runSweep(ctx context.Context, session *repro.Session, opts options, base repro.Config, grid repro.SweepGrid, fig, axis string, axisValue func(repro.SweepPoint) float64) {
 	nStrats := len(grid.Strategies)
-	points, errf := session.Sweep(ctx, base, grid, opts.runs)
-	for pt, mc := range points {
+	printPoint := func(pt repro.SweepPoint, mc repro.MCResult) {
 		v := axisValue(pt)
 		s := mc.Summary
 		if opts.tsv {
@@ -195,12 +214,44 @@ func runSweep(ctx context.Context, session *repro.Session, opts options, base re
 			fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]\n",
 				axis, v, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90)
 		}
+	}
+	theoryAt := func(pt repro.SweepPoint) {
 		if (pt.Index+1)%nStrats == 0 {
 			p := base.Platform
 			p.BandwidthBps = pt.BandwidthBps
 			p.NodeMTBFSeconds = pt.NodeMTBFSeconds
-			theoryRow(opts, p, axis, v)
+			theoryRow(opts, p, axis, axisValue(pt))
 		}
+	}
+
+	if opts.campaign.Enabled() {
+		copts, err := opts.campaign.CampaignOptions("."+fig, opts.workers, opts.antithetic, opts.targetCI, nil)
+		if err != nil {
+			fatal(err)
+		}
+		seq, errf := campaign.New(copts).RunSweep(ctx, base, grid, opts.runs)
+		for pr := range seq {
+			if pr.Status == campaign.StatusDone {
+				printPoint(pr.Point, pr.MC)
+			} else {
+				degradedPoints++
+				fmt.Fprintf(os.Stderr, "paperfigs: %v\n", pr.Err)
+			}
+			theoryAt(pr.Point)
+		}
+		if err := errf(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				cliutil.ExitInterrupted("paperfigs", err)
+			}
+			fatal(err)
+		}
+		return
+	}
+
+	points, errf := session.Sweep(ctx, base, grid, opts.runs)
+	for pt, mc := range points {
+		printPoint(pt, mc)
+		theoryAt(pt)
 	}
 	if err := errf(); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -246,7 +297,7 @@ func fig1(ctx context.Context, session *repro.Session, opts options) {
 	for _, bw := range bws {
 		grid.BandwidthsBps = append(grid.BandwidthsBps, units.GBps(bw))
 	}
-	runSweep(ctx, session, opts, base, grid, "bandwidth_gbps",
+	runSweep(ctx, session, opts, base, grid, "fig1", "bandwidth_gbps",
 		func(pt repro.SweepPoint) float64 { return pt.BandwidthBps / units.GB })
 	fmt.Printf("-- fig1 done in %v --\n\n", time.Since(start).Round(time.Second))
 }
@@ -271,7 +322,7 @@ func fig2(ctx context.Context, session *repro.Session, opts options) {
 	for _, y := range years {
 		grid.NodeMTBFSeconds = append(grid.NodeMTBFSeconds, units.Years(y))
 	}
-	runSweep(ctx, session, opts, base, grid, "mtbf_years",
+	runSweep(ctx, session, opts, base, grid, "fig2", "mtbf_years",
 		func(pt repro.SweepPoint) float64 { return pt.NodeMTBFSeconds / units.Year })
 	fmt.Printf("-- fig2 done in %v --\n\n", time.Since(start).Round(time.Second))
 }
@@ -281,6 +332,12 @@ func fig2(ctx context.Context, session *repro.Session, opts options) {
 // MTBF. Every bisection probe reconfigures the shared session's arenas.
 func fig3(ctx context.Context, session *repro.Session, opts options) {
 	fmt.Println("== Figure 3: min bandwidth for 80% efficiency (prospective system) ==")
+	if opts.campaign.Enabled() {
+		// Each fig3 cell is an adaptive bisection — the probe sequence
+		// depends on earlier probe results, so there is no static grid to
+		// journal point-by-point. The figure reruns from scratch on resume.
+		fmt.Fprintln(os.Stderr, "paperfigs: note: fig3's bisection probes are not journaled; fig3 reruns in full")
+	}
 	years := []float64{5, 10, 15, 20, 25}
 	if opts.quick {
 		years = []float64{5, 15, 25}

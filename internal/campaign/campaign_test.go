@@ -1,0 +1,611 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// testScheduler mirrors the engine suite's knob: CI re-runs the package
+// with REPRO_SCHEDULER=calendar to cover both event queues.
+var testScheduler = os.Getenv("REPRO_SCHEDULER")
+
+func tinyConfig(strat engine.Strategy, seed uint64) engine.Config {
+	return engine.Config{
+		Platform: platform.Platform{
+			Name:            "tiny",
+			Nodes:           256,
+			MemoryBytes:     4 * units.TB,
+			BandwidthBps:    units.GBps(0.5),
+			NodeMTBFSeconds: units.Years(1),
+		},
+		Classes: []workload.Class{
+			{
+				Name: "big", Share: 0.7, WorkHours: 30, MachineFraction: 0.25,
+				InputPctMem: 10, OutputPctMem: 100, CkptPctMem: 150,
+			},
+			{
+				Name: "small", Share: 0.3, WorkHours: 10, MachineFraction: 0.0625,
+				InputPctMem: 5, OutputPctMem: 200, CkptPctMem: 100,
+			},
+		},
+		Strategy:     strat,
+		Seed:         seed,
+		Scheduler:    testScheduler,
+		HorizonDays:  6,
+		WarmupDays:   0.5,
+		CooldownDays: 0.5,
+		Gen:          workload.GenConfig{MinDays: 6, Buffer: 1.2, ShareTol: 0.05},
+	}
+}
+
+func mustStrategy(t *testing.T, name string) engine.Strategy {
+	t.Helper()
+	s, ok := engine.StrategyByName(name)
+	if !ok {
+		t.Fatalf("strategy %q not registered", name)
+	}
+	return s
+}
+
+// golden runs the grid uninterrupted through a plain unjournaled
+// campaign — the reference every recovery test compares against bit for
+// bit.
+func golden(t *testing.T, base engine.Config, grid engine.SweepGrid, runs int) []PointResult {
+	t.Helper()
+	seq, errf := New(Options{Workers: 3}).RunSweep(context.Background(), base, grid, runs)
+	var out []PointResult
+	for pr := range seq {
+		if pr.Status != StatusDone {
+			t.Fatalf("golden point %d: %v", pr.Point.Index, pr.Err)
+		}
+		out = append(out, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("golden campaign: %v", err)
+	}
+	return out
+}
+
+// sameMC asserts bit-identity of the aggregates campaign results carry.
+func sameMC(t *testing.T, tag string, got, want engine.MCResult) {
+	t.Helper()
+	if got.Summary != want.Summary ||
+		got.MeanUtilization != want.MeanUtilization ||
+		got.MeanFailures != want.MeanFailures ||
+		got.RunsUsed != want.RunsUsed ||
+		got.CIHalfWidth != want.CIHalfWidth ||
+		got.Strategy != want.Strategy {
+		t.Fatalf("%s diverges:\n got %+v util %v fails %v runs %d ci %v\nwant %+v util %v fails %v runs %d ci %v",
+			tag,
+			got.Summary, got.MeanUtilization, got.MeanFailures, got.RunsUsed, got.CIHalfWidth,
+			want.Summary, want.MeanUtilization, want.MeanFailures, want.RunsUsed, want.CIHalfWidth)
+	}
+}
+
+// TestCampaignJournalRoundTrip: a journaled campaign seals its journal,
+// and replaying it restores every point's aggregates exactly.
+func TestCampaignJournalRoundTrip(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 11)
+	grid := engine.SweepGrid{BandwidthsBps: []float64{units.GBps(0.25), units.GBps(0.5)}}
+	const runs = 6
+	want := golden(t, base, grid, runs)
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	seq, errf := New(Options{JournalPath: path, Workers: 2}).
+		RunSweep(context.Background(), base, grid, runs)
+	var got []PointResult
+	for pr := range seq {
+		got = append(got, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		sameMC(t, "journaled run", got[i].MC, want[i].MC)
+	}
+
+	st, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sealed {
+		t.Fatal("completed campaign left its journal unsealed")
+	}
+	if len(st.Points) != len(want) {
+		t.Fatalf("journal has %d points, want %d", len(st.Points), len(want))
+	}
+	for i, w := range want {
+		p := st.Points[i]
+		if p == nil || p.Done == nil {
+			t.Fatalf("journal point %d not completed", i)
+		}
+		sameMC(t, "journal replay", *p.Done, w.MC)
+	}
+
+	// Resuming a sealed journal replays everything without simulating:
+	// any replicate reaching the engine would trip this hook.
+	restore := faultinject.Set(faultinject.SiteWorkerReplicate,
+		faultinject.PanicOn("sealed resume simulated", func(any) bool { return true }))
+	defer restore()
+	seq, errf = New(Options{JournalPath: path, Resume: true, Workers: 2}).
+		RunSweep(context.Background(), base, grid, runs)
+	var resumed []PointResult
+	for pr := range seq {
+		if !pr.Restored {
+			t.Fatalf("sealed resume simulated point %d", pr.Point.Index)
+		}
+		resumed = append(resumed, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range resumed {
+		sameMC(t, "sealed resume", resumed[i].MC, want[i].MC)
+	}
+}
+
+// TestCampaignResumeMidPointBitIdentity interrupts a journaled campaign
+// mid-point (context cancellation from the progress callback — the
+// cooperative half of crash recovery; the SIGKILL test covers the
+// uncooperative half) and checks the resumed campaign is bit-identical
+// to the uninterrupted golden at every point.
+func TestCampaignResumeMidPointBitIdentity(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Least-Waste"), 23)
+	grid := engine.SweepGrid{
+		Strategies: []engine.Strategy{
+			mustStrategy(t, "Ordered-Daly"),
+			mustStrategy(t, "Ordered-NB-Daly"),
+			mustStrategy(t, "Least-Waste"),
+		},
+	}
+	const runs = 8
+	want := golden(t, base, grid, runs)
+
+	// Cancel mid-second-point: point 0 is sealed in the journal, point 1
+	// has a partial snapshot trail.
+	for _, cutAt := range []int{3, runs + 2, runs + 7} {
+		path := filepath.Join(t.TempDir(), "campaign.journal")
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen atomic.Int64
+		c := New(Options{
+			JournalPath: path, Workers: 2, SyncEvery: 1,
+			Progress: func(done, total int) {
+				if seen.Add(1) == int64(cutAt) {
+					cancel()
+				}
+			},
+		})
+		seq, errf := c.RunSweep(ctx, base, grid, runs)
+		for range seq {
+		}
+		if err := errf(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cut at %d: interrupted campaign returned %v, want context.Canceled", cutAt, err)
+		}
+		cancel()
+
+		seq, errf = New(Options{JournalPath: path, Resume: true, Workers: 3}).
+			RunSweep(context.Background(), base, grid, runs)
+		var got []PointResult
+		for pr := range seq {
+			got = append(got, pr)
+		}
+		if err := errf(); err != nil {
+			t.Fatalf("cut at %d: resume: %v", cutAt, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut at %d: resumed %d points, want %d", cutAt, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Status != StatusDone {
+				t.Fatalf("cut at %d: resumed point %d status %v: %v", cutAt, i, got[i].Status, got[i].Err)
+			}
+			sameMC(t, "resumed point", got[i].MC, want[i].MC)
+		}
+	}
+}
+
+// TestCampaignTornTailRecovery: a short write tears the journal tail
+// mid-record (the on-disk state of a crash during a write); the campaign
+// reports the durability loss, and reopening truncates the torn frame
+// and resumes bit-identically.
+func TestCampaignTornTailRecovery(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 31)
+	grid := engine.SweepGrid{NodeMTBFSeconds: []float64{units.Years(1), units.Years(2)}}
+	const runs = 6
+	want := golden(t, base, grid, runs)
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	// Let the header and a handful of records through, then tear one.
+	// SnapshotEvery 1 keeps the record volume high enough that the torn
+	// write lands mid-point.
+	restore := faultinject.Set(faultinject.SiteJournalWrite, faultinject.ShortWriteOnce(5, 7))
+	seq, errf := New(Options{JournalPath: path, Workers: 2, SyncEvery: 1, SnapshotEvery: 1}).
+		RunSweep(context.Background(), base, grid, runs)
+	for range seq {
+	}
+	err := errf()
+	restore()
+	var sw faultinject.ShortWrite
+	if err == nil || !errors.As(err, &sw) {
+		t.Fatalf("torn campaign returned %v, want a ShortWrite durability error", err)
+	}
+
+	st, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal unreadable: %v", err)
+	}
+	if st.TornRecords == 0 {
+		t.Fatal("replay did not detect the torn tail record")
+	}
+
+	seq, errf = New(Options{JournalPath: path, Resume: true, Workers: 2}).
+		RunSweep(context.Background(), base, grid, runs)
+	var got []PointResult
+	for pr := range seq {
+		got = append(got, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("resume after tear: %v", err)
+	}
+	for i := range got {
+		sameMC(t, "post-tear resume", got[i].MC, want[i].MC)
+	}
+}
+
+// TestCampaignQuarantinesPoisonedPoint: a worker panic poisons exactly
+// one grid point; that point is quarantined as a *PointError (with its
+// attempts burned) while every other point completes bit-identically.
+func TestCampaignQuarantinesPoisonedPoint(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 41)
+	grid := engine.SweepGrid{
+		BandwidthsBps: []float64{units.GBps(0.25), units.GBps(0.5), units.GBps(1)},
+	}
+	const runs = 6
+	want := golden(t, base, grid, runs)
+
+	// Replicate 0 fires exactly once per attempt; occurrences 2 and 3
+	// are point 1's two attempts (after point 0's single clean pass).
+	var zeroes atomic.Int64
+	restore := faultinject.Set(faultinject.SiteWorkerReplicate,
+		faultinject.PanicOn("poisoned point", func(detail any) bool {
+			if detail.(int) != 0 {
+				return false
+			}
+			n := zeroes.Add(1)
+			return n == 2 || n == 3
+		}))
+	defer restore()
+
+	seq, errf := New(Options{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+	}).RunSweep(context.Background(), base, grid, runs)
+	var got []PointResult
+	for pr := range seq {
+		got = append(got, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("campaign with one poisoned point aborted: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d points, want 3", len(got))
+	}
+
+	sameMC(t, "pre-poison point", got[0].MC, want[0].MC)
+	sameMC(t, "post-poison point", got[2].MC, want[2].MC)
+
+	if got[1].Status != StatusFailed {
+		t.Fatalf("poisoned point status %v, want failed", got[1].Status)
+	}
+	var perr *PointError
+	if !errors.As(got[1].Err, &perr) {
+		t.Fatalf("poisoned point error %T, want *PointError", got[1].Err)
+	}
+	if perr.Attempts != 2 {
+		t.Fatalf("poisoned point burned %d attempts, want 2", perr.Attempts)
+	}
+	var panicErr *engine.PanicError
+	if !errors.As(perr, &panicErr) {
+		t.Fatalf("PointError %v does not unwrap to the worker *PanicError", perr)
+	}
+}
+
+// TestCampaignBreakerAndHeal: a strategy failing every point trips the
+// circuit breaker (remaining points skip without simulating); resuming
+// the journal after the fault is fixed heals everything bit-identically.
+func TestCampaignBreakerAndHeal(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 53)
+	grid := engine.SweepGrid{
+		BandwidthsBps: []float64{units.GBps(0.25), units.GBps(0.5), units.GBps(1), units.GBps(2)},
+	}
+	const runs = 4
+	want := golden(t, base, grid, runs)
+
+	var fires atomic.Int64
+	restore := faultinject.Set(faultinject.SiteWorkerReplicate,
+		faultinject.PanicOn("strategy poisoned", func(any) bool {
+			fires.Add(1)
+			return true
+		}))
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	seq, errf := New(Options{
+		JournalPath: path, Workers: 2,
+		Retry: RetryPolicy{MaxAttempts: 1, BreakerThreshold: 2},
+	}).RunSweep(context.Background(), base, grid, runs)
+	var got []PointResult
+	for pr := range seq {
+		got = append(got, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	restore()
+
+	wantStatus := []PointStatus{StatusFailed, StatusFailed, StatusSkipped, StatusSkipped}
+	for i, pr := range got {
+		if pr.Status != wantStatus[i] {
+			t.Fatalf("point %d status %v, want %v", i, pr.Status, wantStatus[i])
+		}
+	}
+	// The breaker must have cut simulation off after the second point's
+	// failure: one panicking replicate per attempt per unbroken point.
+	if n := fires.Load(); n > int64(2*runs) {
+		t.Fatalf("breaker did not stop simulation: %d replicates fired", n)
+	}
+
+	seq, errf = New(Options{JournalPath: path, Resume: true, Workers: 2}).
+		RunSweep(context.Background(), base, grid, runs)
+	got = got[:0]
+	for pr := range seq {
+		got = append(got, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("healing resume: %v", err)
+	}
+	for i := range got {
+		if got[i].Status != StatusDone {
+			t.Fatalf("healed point %d status %v: %v", i, got[i].Status, got[i].Err)
+		}
+		sameMC(t, "healed point", got[i].MC, want[i].MC)
+	}
+}
+
+// TestCampaignPointTimeout: a hung worker (blocked in cancellable user
+// code) is cut off by the per-point deadline and quarantined; the
+// campaign itself stays alive.
+func TestCampaignPointTimeout(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 61)
+	grid := engine.SweepGrid{BandwidthsBps: []float64{units.GBps(0.5), units.GBps(1)}}
+
+	restore := faultinject.Set(faultinject.SiteWorkerReplicate, faultinject.HangUntilCancel())
+	defer restore()
+
+	seq, errf := New(Options{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxAttempts: 1, PointTimeout: 50 * time.Millisecond},
+	}).RunSweep(context.Background(), base, grid, 8)
+	var got []PointResult
+	for pr := range seq {
+		got = append(got, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("hung points aborted the campaign: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d points, want 2", len(got))
+	}
+	for i, pr := range got {
+		if pr.Status != StatusFailed {
+			t.Fatalf("hung point %d status %v, want failed", i, pr.Status)
+		}
+		if !errors.Is(pr.Err, context.DeadlineExceeded) {
+			t.Fatalf("hung point %d error %v, want context.DeadlineExceeded", i, pr.Err)
+		}
+	}
+}
+
+// TestCampaignRetryResumesMidPoint: a transient failure consumed by the
+// retry policy restarts the point from its last snapshot, and the final
+// aggregates stay bit-identical to a never-failing run.
+func TestCampaignRetryResumesMidPoint(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Least-Waste"), 71)
+	grid := engine.SweepGrid{}
+	const runs = 8
+	want := golden(t, base, grid, runs)
+
+	restore := faultinject.Set(faultinject.SiteWorkerReplicate,
+		faultinject.FailN(errors.New("transient io error"), 1))
+	defer restore()
+
+	pr, err := New(Options{
+		Workers: 2,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, JitterFrac: 0.2},
+	}).Run(context.Background(), base, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Status != StatusDone {
+		t.Fatalf("retried point status %v: %v", pr.Status, pr.Err)
+	}
+	if pr.Attempts != 2 {
+		t.Fatalf("transient failure consumed %d attempts, want 2", pr.Attempts)
+	}
+	sameMC(t, "retried point", pr.MC, want[0].MC)
+}
+
+// TestCampaignFingerprintMismatch: a journal resumed against a different
+// campaign (here: different seed) is rejected, not merged.
+func TestCampaignFingerprintMismatch(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 81)
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+
+	seq, errf := New(Options{JournalPath: path, Workers: 2}).
+		RunSweep(context.Background(), base, engine.SweepGrid{}, 4)
+	for range seq {
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := base
+	other.Seed = 82
+	seq, errf = New(Options{JournalPath: path, Resume: true, Workers: 2}).
+		RunSweep(context.Background(), other, engine.SweepGrid{}, 4)
+	for range seq {
+	}
+	if err := errf(); err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("fingerprint mismatch accepted (err %v)", err)
+	}
+
+	// And an existing journal without -resume is an explicit error.
+	seq, errf = New(Options{JournalPath: path, Workers: 2}).
+		RunSweep(context.Background(), base, engine.SweepGrid{}, 4)
+	for range seq {
+	}
+	if err := errf(); err == nil || !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("overwriting an existing journal accepted (err %v)", err)
+	}
+}
+
+// childEnv marks the re-executed helper process of the SIGKILL test.
+const childEnv = "REPRO_CAMPAIGN_CHILD_JOURNAL"
+
+// killGrid is the shared campaign of the SIGKILL test: every registered
+// strategy on the tiny platform.
+func killGrid() engine.SweepGrid {
+	return engine.SweepGrid{Strategies: engine.AllStrategies()}
+}
+
+const killRuns = 4
+
+// TestCampaignChildProcess is the re-executed half of the SIGKILL test:
+// it runs the journaled campaign until its parent kills it. It skips
+// unless spawned by TestCampaignSIGKILLResume.
+func TestCampaignChildProcess(t *testing.T) {
+	path := os.Getenv(childEnv)
+	if path == "" {
+		t.Skip("helper process for TestCampaignSIGKILLResume")
+	}
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 97)
+	// SyncEvery 1: every snapshot durable, so the parent's kill point is
+	// always recoverable. Slow on purpose-built hardware is fine here —
+	// the grid is tiny.
+	seq, errf := New(Options{JournalPath: path, Resume: true, Workers: 2, SyncEvery: 1}).
+		RunSweep(context.Background(), base, killGrid(), killRuns)
+	for range seq {
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignSIGKILLResume is the crash-recovery integration test: a
+// child process runs the journaled campaign over every registered
+// strategy, the parent SIGKILLs it mid-sweep (no cleanup, no final
+// syncs — a real crash), resumes the journal in-process, and asserts
+// every point of the resumed campaign is bit-identical to an
+// uninterrupted golden run. REPRO_SCHEDULER=calendar re-runs it on the
+// calendar event queue.
+func TestCampaignSIGKILLResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child test process")
+	}
+	base := tinyConfig(mustStrategy(t, "Ordered-NB-Daly"), 97)
+	want := golden(t, base, killGrid(), killRuns)
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCampaignChildProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), childEnv+"="+path)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck
+
+	// Kill once the journal proves the campaign is mid-sweep: at least
+	// one point sealed and a second in flight.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("child campaign made no journaled progress within 60s")
+		}
+		st, err := ReadJournal(path)
+		if err == nil {
+			done := 0
+			for _, p := range st.Points {
+				if p.Done != nil {
+					done++
+				}
+			}
+			if done >= 1 && len(st.Points) > done {
+				break
+			}
+			if done >= 2 {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck
+
+	st, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after SIGKILL: %v", err)
+	}
+	if st.Sealed {
+		t.Fatal("child was killed after completing the whole campaign; kill earlier")
+	}
+
+	seq, errf := New(Options{JournalPath: path, Resume: true, Workers: 3}).
+		RunSweep(context.Background(), base, killGrid(), killRuns)
+	var got []PointResult
+	restoredPoints := 0
+	for pr := range seq {
+		if pr.Restored {
+			restoredPoints++
+		}
+		got = append(got, pr)
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("resume after SIGKILL: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed %d points, want %d", len(got), len(want))
+	}
+	if restoredPoints == 0 {
+		t.Fatal("resume re-simulated every point; the journal restored nothing")
+	}
+	for i := range got {
+		if got[i].Status != StatusDone {
+			t.Fatalf("resumed point %d (%s) status %v: %v",
+				i, got[i].Point.Strategy.Name(), got[i].Status, got[i].Err)
+		}
+		sameMC(t, "SIGKILL-resumed "+got[i].Point.Strategy.Name(), got[i].MC, want[i].MC)
+	}
+
+	// The sealed resumed journal now replays without any simulation.
+	st, err = ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sealed {
+		t.Fatal("resumed campaign did not seal the journal")
+	}
+}

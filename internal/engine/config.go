@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/burstbuffer"
@@ -163,37 +164,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// validate reports the first configuration error after defaulting.
+// Validate reports every configuration error after defaulting, one
+// descriptive error per offending field, joined with errors.Join — so a
+// config that is wrong in three ways surfaces all three at once instead
+// of one deep failure per fix attempt. Every driver entry point (arena
+// construction, the Monte-Carlo core, hence Session.Run / MonteCarlo /
+// Sweep / Compare / MinBandwidth and all deprecated shims) validates
+// through here before any simulation state is touched; a nil return
+// guarantees the configuration builds.
+func (c Config) Validate() error {
+	return c.withDefaults().validate()
+}
+
+// validate collects the configuration errors of an already-defaulted
+// config.
 func (c Config) validate() error {
+	var errs []error
 	if err := c.Platform.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := workload.ValidateClasses(c.Classes); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if c.HorizonDays <= 0 {
-		return fmt.Errorf("engine: non-positive horizon %v days", c.HorizonDays)
-	}
-	if c.WarmupDays < 0 || c.CooldownDays < 0 ||
+		errs = append(errs, fmt.Errorf("engine: non-positive horizon %v days", c.HorizonDays))
+	} else if c.WarmupDays < 0 || c.CooldownDays < 0 ||
 		c.WarmupDays+c.CooldownDays >= c.HorizonDays {
-		return fmt.Errorf("engine: warmup %v + cooldown %v days leave no measurement window in %v days",
-			c.WarmupDays, c.CooldownDays, c.HorizonDays)
+		errs = append(errs, fmt.Errorf("engine: warmup %v + cooldown %v days leave no measurement window in %v days",
+			c.WarmupDays, c.CooldownDays, c.HorizonDays))
 	}
 	if c.FailureModel == failure.Weibull && c.WeibullShape <= 0 {
-		return fmt.Errorf("engine: Weibull failure model requires a positive shape")
+		errs = append(errs, fmt.Errorf("engine: Weibull failure model requires a positive shape, got %v", c.WeibullShape))
 	}
 	if c.Channels < 1 {
-		return fmt.Errorf("engine: non-positive channel count %d", c.Channels)
+		errs = append(errs, fmt.Errorf("engine: non-positive channel count %d", c.Channels))
 	}
 	if _, err := c.schedulerKind(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if c.BurstBuffer != nil {
 		if err := c.BurstBuffer.Validate(); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Result aggregates one run's measurements over the window.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -81,6 +83,15 @@ type MCOptions struct {
 	// ComparePaired uses to stop on the paired difference against a
 	// reference series instead of the raw mean.
 	ciValue func(i int, wasteRatio float64) float64
+	// resume, when non-nil, restores the experiment from a snapshot and
+	// dispatches from run index resume.Folded (streaming path only) —
+	// the crash-resilience seam of Session.MonteCarloResume.
+	resume *MCSnapshot
+	// onSnapshot, when non-nil, receives the experiment state after
+	// every snapshotEvery-th folded replicate (<= 0: every replicate),
+	// on the caller's goroutine.
+	onSnapshot    func(MCSnapshot)
+	snapshotEvery int
 }
 
 // TargetCI configures sequential stopping for a Monte-Carlo experiment:
@@ -206,8 +217,27 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	if runs <= 0 {
 		return MCResult{}, fmt.Errorf("engine: non-positive run count %d", runs)
 	}
+	// Validate up front so a bad configuration surfaces as one clean,
+	// per-field error before any worker goroutine spawns, instead of a
+	// deep failure wrapped in worker context.
+	if err := cfg.Validate(); err != nil {
+		return MCResult{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return MCResult{}, err
+	}
+	start := 0
+	if opts.resume != nil {
+		if opts.KeepResults || opts.KeepWasteRatios {
+			return MCResult{}, fmt.Errorf("engine: resume requires the streaming path (no KeepResults/KeepWasteRatios)")
+		}
+		start = opts.resume.Folded
+		if start < 0 {
+			return MCResult{}, fmt.Errorf("engine: resume snapshot folds %d replicates", start)
+		}
+	}
+	if (opts.onSnapshot != nil) && (opts.KeepResults || opts.KeepWasteRatios) {
+		return MCResult{}, fmt.Errorf("engine: snapshots require the streaming path (no KeepResults/KeepWasteRatios)")
 	}
 	seq := opts.TargetCI.withDefaults()
 	seqOn := seq.HalfWidth > 0
@@ -219,9 +249,12 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	if opts.Antithetic && minRuns%2 == 1 {
 		minRuns++ // stopping decisions only at pair boundaries
 	}
+	if start > total {
+		return MCResult{}, fmt.Errorf("engine: resume snapshot folds %d replicates, experiment has %d", start, total)
+	}
 	workers := len(arenas)
-	if workers > total {
-		workers = total
+	if workers > total-start {
+		workers = total - start
 	}
 
 	// Bounded reorder window: run i may only be dispatched once run
@@ -260,28 +293,7 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 					resCh <- item{i: i, err: err, canceled: true}
 					continue
 				}
-				a := arenas[w]
-				var err error
-				switch {
-				case a == nil:
-					if a, err = NewArena(cfg); err == nil {
-						arenas[w] = a
-						reconfigured = true
-					} else {
-						err = fmt.Errorf("worker %d: build arena: %w", w, err)
-					}
-				case !reconfigured:
-					if err = a.Reconfigure(cfg); err == nil {
-						reconfigured = true
-					} else {
-						err = fmt.Errorf("worker %d: reconfigure arena: %w", w, err)
-					}
-				}
-				var r Result
-				if err == nil {
-					seed, anti := replicateDraw(cfg.Seed, i, opts.Antithetic)
-					r, err = a.RunAnti(seed, anti)
-				}
+				r, err := runReplicate(ctx, arenas, w, &reconfigured, cfg, i, opts.Antithetic)
 				resCh <- item{i: i, r: r, err: err}
 			}
 		}(w)
@@ -292,7 +304,7 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 			close(next)
 			dispatchedCh <- dispatched
 		}()
-		for i := 0; i < total; i++ {
+		for i := start; i < total; i++ {
 			select {
 			case gate <- struct{}{}:
 			case <-stop:
@@ -328,6 +340,20 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	var util, fails float64
 	var firstErr error
 	folded := 0
+	if rs := opts.resume; rs != nil {
+		// Restore the exact mid-experiment state: continuing from it is
+		// bit-identical to never having been interrupted, because every
+		// Add past this point sees the same accumulator state and the
+		// CRN schedule reproduces replicates Folded..total-1 exactly.
+		if err := acc.Restore(rs.Acc); err != nil {
+			return MCResult{}, fmt.Errorf("engine: resume: %w", err)
+		}
+		if err := ciAcc.Restore(rs.CIAcc); err != nil {
+			return MCResult{}, fmt.Errorf("engine: resume: %w", err)
+		}
+		util, fails, pairEven = rs.Util, rs.Fails, rs.PairEven
+		folded = start
+	}
 	stopped, stopClosed := false, false
 
 	halt := func() {
@@ -393,6 +419,22 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 		if progress != nil {
 			progress(it.i + 1)
 		}
+		if opts.onSnapshot != nil {
+			every := opts.snapshotEvery
+			if every <= 0 {
+				every = 1
+			}
+			if folded%every == 0 {
+				opts.onSnapshot(MCSnapshot{
+					Folded:   folded,
+					Util:     util,
+					Fails:    fails,
+					PairEven: pairEven,
+					Acc:      acc.State(),
+					CIAcc:    ciAcc.State(),
+				})
+			}
+		}
 		if seqOn && folded >= minRuns && folded < total &&
 			(!opts.Antithetic || folded%2 == 0) &&
 			ciAcc.HalfWidth(seq.Confidence) <= seq.HalfWidth {
@@ -404,7 +446,7 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	// Consume exactly the dispatched results, delivering in run order;
 	// the dispatched count is only known early when stop or ctx fires.
 	pending := make(map[int]item, window)
-	nextIdx, received, dispatched := 0, 0, -1
+	nextIdx, received, dispatched := start, 0, -1
 	for dispatched < 0 || received < dispatched {
 		select {
 		case it := <-resCh:
@@ -449,6 +491,44 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	mc.Confidence = seq.Confidence
 	mc.CIHalfWidth = ciAcc.HalfWidth(seq.Confidence)
 	return mc, nil
+}
+
+// runReplicate simulates run i on worker w's arena under a panic guard: a
+// panic anywhere in the simulation (a user-registered strategy, arbiter
+// or checkpoint policy) is recovered into a *PanicError instead of taking
+// down the process, and the worker's arena — whose mid-replicate state is
+// unrecoverable — is dropped so the next replicate rebuilds it from the
+// configuration. The faultinject site fires inside the guard, so injected
+// panics exercise exactly the recovery path a user panic takes.
+func runReplicate(ctx context.Context, arenas []*Arena, w int, reconfigured *bool, cfg Config, i int, antithetic bool) (r Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			arenas[w] = nil
+			*reconfigured = false
+			err = &PanicError{Run: i, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Armed() {
+		if ferr := faultinject.Fire(ctx, faultinject.SiteWorkerReplicate, i); ferr != nil {
+			return Result{}, ferr
+		}
+	}
+	a := arenas[w]
+	switch {
+	case a == nil:
+		if a, err = NewArena(cfg); err != nil {
+			return Result{}, fmt.Errorf("worker %d: build arena: %w", w, err)
+		}
+		arenas[w] = a
+		*reconfigured = true
+	case !*reconfigured:
+		if err = a.Reconfigure(cfg); err != nil {
+			return Result{}, fmt.Errorf("worker %d: reconfigure arena: %w", w, err)
+		}
+		*reconfigured = true
+	}
+	seed, anti := replicateDraw(cfg.Seed, i, antithetic)
+	return a.RunAnti(seed, anti)
 }
 
 // CompareStrategies runs the same Monte-Carlo experiment for every given

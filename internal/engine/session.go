@@ -213,7 +213,7 @@ func (s *Session) Sweep(ctx context.Context, base Config, grid SweepGrid, runs i
 		pts := grid.Points(base)
 		total := len(pts) * runs
 		for _, pt := range pts {
-			mc, e := s.monteCarlo(ctx, pt.apply(base), runs, s.opts, pt.Index*runs, total)
+			mc, e := s.monteCarlo(ctx, pt.Apply(base), runs, s.opts, pt.Index*runs, total)
 			if e != nil {
 				err = fmt.Errorf("engine: sweep point %d (%s): %w", pt.Index, pt.Strategy.Name(), e)
 				return

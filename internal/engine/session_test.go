@@ -342,7 +342,7 @@ func TestSessionCampaignArenaReuse(t *testing.T) {
 	grid := SweepGrid{Strategies: []Strategy{OrderedNBDaly(), RandomDaly()}}
 	points, errf := s.Sweep(ctx, cfgB, grid, 2)
 	for pt, mc := range points {
-		cfg := pt.apply(cfgB)
+		cfg := pt.Apply(cfgB)
 		want, err := MonteCarloOpts(cfg, 2, 2, MCOptions{KeepWasteRatios: true})
 		if err != nil {
 			t.Fatal(err)
@@ -401,17 +401,27 @@ func TestSessionProgress(t *testing.T) {
 	}
 }
 
-// TestSessionWorkerErrorAttribution: arena build failures carry the
-// worker index and the run that surfaced them.
-func TestSessionWorkerErrorAttribution(t *testing.T) {
+// TestSessionInvalidConfigRejectedUpfront: a bad configuration surfaces
+// as one clean Config.Validate error before any worker goroutine spawns —
+// not wrapped in worker-attribution context, and with every offending
+// field reported at once.
+func TestSessionInvalidConfigRejectedUpfront(t *testing.T) {
 	bad := tinyConfig(OrderedDaly(), 1)
 	bad.Platform.Nodes = 0
+	bad.Platform.NodeMTBFSeconds = -1
+	bad.Channels = -2
+	bad.Scheduler = "bogus"
 	_, err := NewSession(WithWorkers(2)).MonteCarlo(context.Background(), bad, 4)
 	if err == nil {
 		t.Fatal("invalid config accepted")
 	}
-	if !strings.Contains(err.Error(), "worker ") || !strings.Contains(err.Error(), "build arena") {
-		t.Fatalf("error %q does not attribute the failing worker", err)
+	if strings.Contains(err.Error(), "worker ") {
+		t.Fatalf("validation error %q reached a worker", err)
+	}
+	for _, want := range []string{"node count", "node MTBF", "channel count", "scheduler"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined validation error %q misses the %s field", err, want)
+		}
 	}
 }
 

@@ -104,8 +104,11 @@ func (g SweepGrid) Points(base Config) []SweepPoint {
 	return pts
 }
 
-// apply resolves the point into a runnable configuration.
-func (pt SweepPoint) apply(base Config) Config {
+// Apply resolves the point into a runnable configuration over the base —
+// the same resolution Session.Sweep performs per point, exported so
+// external drivers (the campaign runner) can evaluate grid points one at
+// a time with their own per-point context and resume state.
+func (pt SweepPoint) Apply(base Config) Config {
 	cfg := base
 	cfg.Platform.BandwidthBps = pt.BandwidthBps
 	cfg.Platform.NodeMTBFSeconds = pt.NodeMTBFSeconds

@@ -81,17 +81,20 @@ func (p Platform) SystemMTBF() float64 {
 
 // Validate reports the first configuration error, if any.
 func (p Platform) Validate() error {
-	switch {
-	case p.Nodes <= 0:
-		return fmt.Errorf("platform %q: non-positive node count %d", p.Name, p.Nodes)
-	case p.MemoryBytes <= 0:
-		return fmt.Errorf("platform %q: non-positive memory", p.Name)
-	case p.BandwidthBps <= 0:
-		return fmt.Errorf("platform %q: non-positive bandwidth", p.Name)
-	case p.NodeMTBFSeconds <= 0:
-		return fmt.Errorf("platform %q: non-positive node MTBF", p.Name)
+	var errs []error
+	if p.Nodes <= 0 {
+		errs = append(errs, fmt.Errorf("platform %q: non-positive node count %d", p.Name, p.Nodes))
 	}
-	return nil
+	if p.MemoryBytes <= 0 {
+		errs = append(errs, fmt.Errorf("platform %q: non-positive memory %v", p.Name, p.MemoryBytes))
+	}
+	if p.BandwidthBps <= 0 {
+		errs = append(errs, fmt.Errorf("platform %q: non-positive bandwidth %v", p.Name, p.BandwidthBps))
+	}
+	if p.NodeMTBFSeconds <= 0 {
+		errs = append(errs, fmt.Errorf("platform %q: non-positive node MTBF %v", p.Name, p.NodeMTBFSeconds))
+	}
+	return errors.Join(errs...)
 }
 
 // ErrNotAllocated is returned when releasing a job that holds no nodes.

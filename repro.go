@@ -59,6 +59,7 @@ package repro
 
 import (
 	"repro/internal/burstbuffer"
+	"repro/internal/campaign"
 	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/failure"
@@ -167,6 +168,69 @@ type (
 	// (set Config.BurstBuffer to enable).
 	BurstBuffer = burstbuffer.Config
 )
+
+// Crash-resilient campaign layer: durable sweeps that journal progress,
+// resume bit-identically after a crash, and quarantine failing points
+// instead of aborting the grid (see the campaign package docs).
+type (
+	// Campaign is the durable sweep driver built by NewCampaign.
+	Campaign = campaign.Campaign
+	// CampaignOptions configures a Campaign: journal path and resume,
+	// snapshot/fsync cadence, retry policy, and the session-level knobs
+	// (workers, antithetic pairing, sequential stopping, progress).
+	CampaignOptions = campaign.Options
+	// RetryPolicy is the per-point failure-handling policy: attempt
+	// budget, exponential backoff with deterministic jitter, per-attempt
+	// deadline, and a per-strategy circuit breaker.
+	RetryPolicy = campaign.RetryPolicy
+	// PointResult is one grid point's campaign outcome: the MCResult on
+	// success, or the failure/skip disposition with its error.
+	PointResult = campaign.PointResult
+	// PointStatus classifies a PointResult (StatusDone, StatusFailed,
+	// StatusSkipped).
+	PointStatus = campaign.PointStatus
+	// PointError quarantines a grid point whose retry budget was
+	// exhausted; it unwraps to the final attempt's error (a *PanicError
+	// when a simulation worker panicked).
+	PointError = campaign.PointError
+	// JournalState is the replayed content of a campaign journal, as
+	// returned by ReadJournal — per-point progress plus whether the
+	// campaign sealed cleanly.
+	JournalState = campaign.ReplayState
+	// JournalPointState is one point's replayed journal state.
+	JournalPointState = campaign.PointState
+	// MCSnapshot is a resumable mid-experiment Monte-Carlo state: the
+	// exact accumulator bits after folding replicates [0, Folded).
+	MCSnapshot = engine.MCSnapshot
+	// ResumeSpec parameterises Session.MonteCarloResume: the snapshot to
+	// resume from and the cadence at which new snapshots are observed.
+	ResumeSpec = engine.ResumeSpec
+	// PanicError wraps a recovered simulation-worker panic with its
+	// stack; campaign quarantines it, bare Session methods return it.
+	PanicError = engine.PanicError
+)
+
+// PointResult dispositions.
+const (
+	// StatusDone marks a point that completed (or replayed) successfully.
+	StatusDone = campaign.StatusDone
+	// StatusFailed marks a point whose retry budget was exhausted.
+	StatusFailed = campaign.StatusFailed
+	// StatusSkipped marks a point skipped by an open circuit breaker.
+	StatusSkipped = campaign.StatusSkipped
+)
+
+// NewCampaign builds a durable sweep driver. Campaign.RunSweep and
+// Campaign.Run mirror Session.Sweep and Session.MonteCarlo but journal
+// progress to CampaignOptions.JournalPath, resume bit-identically when
+// CampaignOptions.Resume is set, and degrade gracefully — panicking or
+// timed-out points are retried, then quarantined as PointResults instead
+// of aborting the campaign.
+func NewCampaign(opts CampaignOptions) *Campaign { return campaign.New(opts) }
+
+// ReadJournal replays a campaign journal read-only — for inspecting
+// progress or a post-mortem without touching the file.
+func ReadJournal(path string) (*JournalState, error) { return campaign.ReadJournal(path) }
 
 // Interference models for Config.Interference.
 type (
