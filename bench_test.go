@@ -11,9 +11,11 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
+	"repro/internal/resultcache"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -276,6 +278,66 @@ func BenchmarkSessionReuse(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sweepOnce(b, repro.NewSession(repro.WithWorkers(1)))
+		}
+	})
+}
+
+// BenchmarkSweepGrid measures the grid-level sweep scheduler against the
+// sequential per-point path on a strategy-heavy grid — every registered
+// strategy times token channels {1, 2} under sequential stopping, the
+// workload the work-stealing dispatch exists for. All variants produce
+// bit-identical results (pinned by TestSweepGridBitIdentity); wall-clock
+// and the cache hit rate are what's measured. Recorded in BENCH_*.json.
+func BenchmarkSweepGrid(b *testing.B) {
+	ctx := context.Background()
+	base := benchConfig(repro.Cielo(40, 2), repro.Strategy{})
+	grid := repro.SweepGrid{Strategies: repro.AllStrategies(), Channels: []int{1, 2}}
+	const gridRuns = 8
+	sweepOnce := func(b *testing.B, session *repro.Session) {
+		points, errf := session.Sweep(ctx, base, grid, gridRuns)
+		for range points {
+		}
+		if err := errf(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	variants := []struct {
+		name    string
+		workers int
+		opts    []repro.SessionOption
+	}{
+		{"sequential/w1", 1, []repro.SessionOption{repro.WithGridDispatch(false)}},
+		{"grid/w1", 1, nil},
+		{"grid/w4", 4, nil},
+		{fmt.Sprintf("grid/w%d", runtime.GOMAXPROCS(0)), 0, nil},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			opts := append([]repro.SessionOption{
+				repro.WithWorkers(v.workers),
+				repro.WithTargetCI(0.02, 0, 4, 0),
+			}, v.opts...)
+			session := repro.NewSession(opts...)
+			sweepOnce(b, session) // warm the pool outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sweepOnce(b, session)
+			}
+		})
+	}
+	b.Run("grid/cache-warm", func(b *testing.B) {
+		cache, err := resultcache.New(resultcache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		session := repro.NewSession(repro.WithWorkers(0),
+			repro.WithTargetCI(0.02, 0, 4, 0), repro.WithResultCache(cache))
+		sweepOnce(b, session) // populate the cache outside the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweepOnce(b, session)
 		}
 	})
 }

@@ -43,6 +43,7 @@ import (
 	"repro"
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
+	"repro/internal/resultcache"
 	"repro/internal/units"
 )
 
@@ -72,6 +73,7 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
 	campaignFlags := cliutil.AddCampaignFlags(flag.CommandLine)
+	cacheFlags := cliutil.AddCacheFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -114,9 +116,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	cache, err := cacheFlags.Open()
+	if err != nil {
+		fail(err)
+	}
 
 	if *tsv {
-		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\tchannels\t" + tsvHeader() + "\truns_used\tci_half_width")
+		fmt.Println("strategy\tbandwidth_gbps\tmtbf_years\tchannels\t" + tsvHeader() + "\truns_used\tci_half_width\tcached")
 	}
 
 	// The whole experiment — one point or a -sweep-* series, times the
@@ -154,10 +160,17 @@ func main() {
 	defer cancel()
 
 	nStrats := len(strategies)
+	// cachedRows counts grid cells served without simulating — in-grid
+	// k-axis deduplication plus -cache-dir hits — for the closing summary.
+	cachedRows, totalRows := 0, 0
 	// printRow renders one grid cell; printTheory the §4 bound closing
 	// each scenario block. Shared by the plain-session and campaign
 	// paths.
 	printRow := func(pt repro.SweepPoint, mc repro.MCResult) {
+		totalRows++
+		if mc.Cached {
+			cachedRows++
+		}
 		bwGBps := pt.BandwidthBps / units.GB
 		mtbfYears := pt.NodeMTBFSeconds / units.Year
 		p := base.Platform
@@ -172,12 +185,16 @@ func main() {
 		}
 		s := mc.Summary
 		if *tsv {
-			fmt.Printf("%s\t%g\t%g\t%d\t%s\t%d\t%.6g\n",
-				mc.Strategy, bwGBps, mtbfYears, pt.Channels, s.TSVRow(), mc.RunsUsed, mc.CIHalfWidth)
+			fmt.Printf("%s\t%g\t%g\t%d\t%s\t%d\t%.6g\t%d\n",
+				mc.Strategy, bwGBps, mtbfYears, pt.Channels, s.TSVRow(), mc.RunsUsed, mc.CIHalfWidth, boolInt(mc.Cached))
 		} else {
-			fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f %6d %9.5f\n",
+			mark := ""
+			if mc.Cached {
+				mark = "  (cached)"
+			}
+			fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f %6d %9.5f%s\n",
 				mc.Strategy, s.Mean, s.P10, s.P25, s.P75, s.P90, mc.MeanUtilization,
-				mc.RunsUsed, mc.CIHalfWidth)
+				mc.RunsUsed, mc.CIHalfWidth, mark)
 			if *breakdown {
 				printBreakdown(mc)
 			}
@@ -200,9 +217,10 @@ func main() {
 		if *tsv {
 			// Columns match tsvHeader: n=1, stddev=0, every order
 			// statistic collapses to the deterministic bound, and the
-			// trailing runs_used/ci_half_width pair is 1/0 — the bound
-			// costs one evaluation and carries no Monte-Carlo error.
-			fmt.Printf("Theoretical-Model\t%g\t%g\t%d\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t1\t0\n",
+			// trailing runs_used/ci_half_width/cached triple is 1/0/0 —
+			// the bound costs one evaluation, carries no Monte-Carlo
+			// error, and is recomputed rather than cached.
+			fmt.Printf("Theoretical-Model\t%g\t%g\t%d\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t1\t0\t0\n",
 				bwGBps, mtbfYears, pt.Channels, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
 		} else {
 			fmt.Printf("%-20s %8.4f   (λ=%.4g, F=%.3f, constrained=%v)\n",
@@ -223,19 +241,27 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if cache != nil {
+			copts.Cache = cache
+		}
 		runCampaign(ctx, copts, base, grid, *runs, stopProfiles, printRow, printTheory)
+		printCacheSummary(cache, cachedRows, totalRows)
 		return
 	}
 
 	// Exact candlesticks need only the waste ratios; the per-run
 	// Result structs are materialised solely for -breakdown.
-	session := repro.NewSession(
+	sopts := []repro.SessionOption{
 		repro.WithWorkers(*workers),
 		repro.WithKeepWasteRatios(true),
 		repro.WithKeepResults(*breakdown),
 		repro.WithAntithetic(*antithetic),
 		repro.WithTargetCI(tci.HalfWidth, tci.Confidence, tci.MinRuns, tci.MaxRuns),
-	)
+	}
+	if cache != nil {
+		sopts = append(sopts, repro.WithResultCache(cache))
+	}
+	session := repro.NewSession(sopts...)
 
 	if *paired {
 		// The paired comparison is a single-scenario experiment: the
@@ -261,6 +287,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 		os.Exit(1)
 	}
+	printCacheSummary(cache, cachedRows, totalRows)
+}
+
+// boolInt renders a flag as the 0/1 a TSV column wants.
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// printCacheSummary reports how much of the grid was served without
+// simulating — in-grid deduplication plus -cache-dir hits — and, when a
+// disk cache was attached, its traffic counters.
+func printCacheSummary(cache *resultcache.Cache, cachedRows, totalRows int) {
+	if cachedRows > 0 {
+		fmt.Fprintf(os.Stderr, "coopsim: %d of %d grid cell(s) served from cache/dedup\n", cachedRows, totalRows)
+	}
+	cliutil.ReportCacheStats("coopsim", cache)
 }
 
 // runCampaign drives the grid through the durable campaign layer:
@@ -335,7 +380,7 @@ func runPaired(ctx context.Context, session *repro.Session, base repro.Config, s
 	for _, mc := range mcs {
 		s := mc.Summary
 		if tsv {
-			fmt.Printf("%s\t%g\t%g\t%d\t%s\t%d\t%.6g\n",
+			fmt.Printf("%s\t%g\t%g\t%d\t%s\t%d\t%.6g\t0\n",
 				mc.Strategy, bwGBps, mtbfYears, base.Channels, s.TSVRow(), mc.RunsUsed, mc.CIHalfWidth)
 		} else {
 			fmt.Printf("%-20s %8.4f %8.4f %8.4f %8.4f %8.4f %6d %9.5f\n",
@@ -620,6 +665,120 @@ func runBenchJSON(path string) {
 		schedSection[sc.name] = row
 	}
 
+	// Grid-parallel sweep dispatch vs the sequential per-point path on a
+	// strategy-heavy target-CI grid (every registered strategy × token
+	// channels {1, 2, 4}), plus the content-addressed result cache: the
+	// in-grid k-axis dedup rate, and a warm-cache sweep's wall clock.
+	// Results are bit-identical across every arm; only wall-clock and the
+	// hit rate differ. gomaxprocs records the cores the parallel arms had
+	// — on a single-core host grid dispatch can only tie the sequential
+	// path, and the cache numbers carry the section.
+	gridBase := repro.Config{
+		Platform:    repro.Cielo(40, 2),
+		Classes:     repro.APEXClasses(),
+		Seed:        1,
+		HorizonDays: 20,
+	}
+	gridSpec := repro.SweepGrid{Strategies: repro.AllStrategies(), Channels: []int{1, 2, 4}}
+	const gridRuns = 8
+	gridFail := func(err error) {
+		fmt.Fprintf(os.Stderr, "coopsim: bench: grid: %v\n", err)
+		os.Exit(1)
+	}
+	gridSweepOnce := func(session *repro.Session) int {
+		cached := 0
+		points, errf := session.Sweep(ctx, gridBase, gridSpec, gridRuns)
+		for _, mc := range points {
+			if mc.Cached {
+				cached++
+			}
+		}
+		if err := errf(); err != nil {
+			gridFail(err)
+		}
+		return cached
+	}
+	gridOpts := func(extra ...repro.SessionOption) []repro.SessionOption {
+		return append([]repro.SessionOption{repro.WithTargetCI(0.02, 0, 4, 0)}, extra...)
+	}
+	benchGridSweep := func(opts ...repro.SessionOption) testing.BenchmarkResult {
+		session := repro.NewSession(gridOpts(opts...)...)
+		gridSweepOnce(session) // warm the pool outside the timer
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gridSweepOnce(session)
+			}
+		})
+	}
+	gridPts := gridSpec.Points(gridBase)
+	// The provably-duplicate cells of this grid: points whose content
+	// address coincides with an earlier point's (the k axis of the
+	// shared-device strategies). The dedup pass must eliminate exactly
+	// these.
+	uniqueKeys := map[string]bool{}
+	dupCells := 0
+	for _, pt := range gridPts {
+		key, ok := repro.ExperimentKey(pt.Apply(gridBase), gridRuns,
+			repro.MCOptions{TargetCI: repro.TargetCI{HalfWidth: 0.02, MinRuns: 4}})
+		if !ok {
+			gridFail(fmt.Errorf("grid point %d not cacheable", pt.Index))
+		}
+		if uniqueKeys[key] {
+			dupCells++
+		}
+		uniqueKeys[key] = true
+	}
+	dedupedCells := gridSweepOnce(repro.NewSession(gridOpts()...))
+	if dedupedCells != dupCells {
+		gridFail(fmt.Errorf("dedup eliminated %d cells, %d are provably duplicate", dedupedCells, dupCells))
+	}
+	seqGridRes := benchGridSweep(repro.WithGridDispatch(false))
+	gridWorkers := map[string]any{}
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		key := strconv.Itoa(w)
+		if _, done := gridWorkers[key]; done {
+			continue
+		}
+		r := benchGridSweep(repro.WithWorkers(w))
+		gridWorkers[key] = map[string]any{
+			"ns_per_sweep":          r.NsPerOp(),
+			"speedup_vs_sequential": float64(seqGridRes.NsPerOp()) / float64(r.NsPerOp()),
+		}
+	}
+	gridCache, err := resultcache.New(resultcache.Options{})
+	if err != nil {
+		gridFail(err)
+	}
+	coldStats := func() resultcache.Stats {
+		gridSweepOnce(repro.NewSession(gridOpts(repro.WithResultCache(gridCache))...))
+		return gridCache.Stats()
+	}()
+	warmSession := repro.NewSession(gridOpts(repro.WithResultCache(gridCache))...)
+	warmCached := gridSweepOnce(warmSession)
+	warmRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gridSweepOnce(warmSession)
+		}
+	})
+	gridSection := map[string]any{
+		"scenario":   "cielo-40GBps-mtbf2y-20d, all strategies × channels {1,2,4}, target-ci 0.02 (min 4, cap 8)",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"points":     len(gridPts),
+		"sequential": map[string]any{"ns_per_sweep": seqGridRes.NsPerOp()},
+		"grid":       gridWorkers,
+		"cache": map[string]any{
+			"duplicate_cells":            dupCells,
+			"deduped_cells":              dedupedCells,
+			"dedup_of_duplicates":        1.0,
+			"cold_hits":                  coldStats.Hits,
+			"cold_misses":                coldStats.Misses,
+			"warm_hit_cells":             warmCached,
+			"warm_hit_rate":              float64(warmCached) / float64(len(gridPts)),
+			"warm_ns_per_sweep":          warmRes.NsPerOp(),
+			"warm_speedup_vs_sequential": float64(seqGridRes.NsPerOp()) / float64(warmRes.NsPerOp()),
+		},
+	}
+
 	// Journaling overhead on the standard 60-day Cielo scenario: the
 	// campaign layer with per-replicate snapshots and batched fsyncs to a
 	// temp-file journal against the bare streaming session. The acceptance
@@ -672,6 +831,7 @@ func runBenchJSON(path string) {
 		"events_per_op":  eventsPerOp,
 		"events_per_sec": eventsPerOp / (float64(res.NsPerOp()) / 1e9),
 		"scheduler":      schedSection,
+		"grid":           gridSection,
 		"monte_carlo": map[string]any{
 			"arena_replicates_per_sec": 1e9 / float64(arenaRes.NsPerOp()),
 			"arena_allocs_per_op":      arenaRes.AllocsPerOp(),

@@ -30,6 +30,7 @@ import (
 	"repro"
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
+	"repro/internal/resultcache"
 	"repro/internal/units"
 )
 
@@ -46,6 +47,7 @@ type options struct {
 	antithetic bool
 	targetCI   repro.TargetCI
 	campaign   *cliutil.CampaignFlags
+	cache      *resultcache.Cache
 }
 
 func main() {
@@ -71,6 +73,7 @@ func main() {
 	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap (allocs) profile to this file on exit")
 	opts.campaign = cliutil.AddCampaignFlags(flag.CommandLine)
+	cacheFlags := cliutil.AddCacheFlags(flag.CommandLine)
 	flag.Parse()
 
 	if opts.quick {
@@ -101,6 +104,10 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
+	opts.cache, err = cacheFlags.Open()
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, cancel := cliutil.InterruptContext()
 	defer cancel()
@@ -109,12 +116,16 @@ func main() {
 	// need only the waste ratios; paper-scale -runs never materialises
 	// per-run Result structs. A -target-ci lets each sweep point (and
 	// each fig3 bisection probe) stop as soon as its mean is resolved.
-	session := repro.NewSession(
+	sopts := []repro.SessionOption{
 		repro.WithWorkers(opts.workers),
 		repro.WithKeepWasteRatios(true),
 		repro.WithAntithetic(antithetic),
 		repro.WithTargetCI(tci.HalfWidth, tci.Confidence, tci.MinRuns, tci.MaxRuns),
-	)
+	}
+	if opts.cache != nil {
+		sopts = append(sopts, repro.WithResultCache(opts.cache))
+	}
+	session := repro.NewSession(sopts...)
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -138,6 +149,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown command %q (table1|fig1|fig2|fig3|all)\n", cmd)
 		os.Exit(2)
 	}
+	cliutil.ReportCacheStats("paperfigs", opts.cache)
 	if degradedPoints > 0 {
 		stopProfiles()
 		fmt.Fprintf(os.Stderr, "paperfigs: campaign degraded: %d quarantined/skipped point(s); rerun with -resume to retry them\n", degradedPoints)
@@ -208,11 +220,16 @@ func runSweep(ctx context.Context, session *repro.Session, opts options, base re
 	printPoint := func(pt repro.SweepPoint, mc repro.MCResult) {
 		v := axisValue(pt)
 		s := mc.Summary
+		cached := 0
+		mark := ""
+		if mc.Cached {
+			cached, mark = 1, "  (cached)"
+		}
 		if opts.tsv {
-			fmt.Printf("%s\t%g\t%s\t%s\n", axis, v, mc.Strategy, s.TSVRow())
+			fmt.Printf("%s\t%g\t%s\t%s\t%d\n", axis, v, mc.Strategy, s.TSVRow(), cached)
 		} else {
-			fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]\n",
-				axis, v, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90)
+			fmt.Printf("%s=%-8g %-18s mean=%.4f box=[%.4f %.4f] whiskers=[%.4f %.4f]%s\n",
+				axis, v, mc.Strategy, s.Mean, s.P25, s.P75, s.P10, s.P90, mark)
 		}
 	}
 	theoryAt := func(pt repro.SweepPoint) {
@@ -228,6 +245,9 @@ func runSweep(ctx context.Context, session *repro.Session, opts options, base re
 		copts, err := opts.campaign.CampaignOptions("."+fig, opts.workers, opts.antithetic, opts.targetCI, nil)
 		if err != nil {
 			fatal(err)
+		}
+		if opts.cache != nil {
+			copts.Cache = opts.cache
 		}
 		seq, errf := campaign.New(copts).RunSweep(ctx, base, grid, opts.runs)
 		for pr := range seq {
@@ -268,7 +288,7 @@ func theoryRow(opts options, p repro.Platform, axis string, axisValue float64) {
 		fatal(err)
 	}
 	if opts.tsv {
-		fmt.Printf("%s\t%g\tTheoretical-Model\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
+		fmt.Printf("%s\t%g\tTheoretical-Model\t1\t%.6f\t0\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t0\n",
 			axis, axisValue, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste, sol.Waste)
 	} else {
 		fmt.Printf("%s=%-8g %-18s mean=%.4f (λ=%.4g constrained=%v)\n",

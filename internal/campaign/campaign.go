@@ -177,6 +177,15 @@ type Options struct {
 	// Progress, when set, receives campaign-wide replicate progress
 	// (done, total) across all points, monotone within a run.
 	Progress func(done, total int)
+	// Cache, when non-nil, memoises points by content address
+	// (engine.ExperimentKey): before simulating a point the campaign
+	// consults the cache, and every completed point — simulated now or
+	// restored from the journal — is stored back. A hit yields
+	// StatusDone with MC.Cached set and journals a cache_hit record
+	// followed by the point's aggregates, so a resume replays the point
+	// without needing the cache. Results are bit-identical either way;
+	// see engine.ResultCache.
+	Cache engine.ResultCache
 }
 
 // Campaign runs sweeps durably over one engine.Session.
@@ -400,9 +409,20 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 		if replayed != nil {
 			st = replayed.Points[pt.Index]
 		}
+		// cacheKey is the point's content address when the result cache is
+		// on and the point is cacheable ("" otherwise).
+		cacheKey := ""
+		if c.opts.Cache != nil {
+			if key, ok := engine.ExperimentKey(pt.Apply(base), runs, engine.MCOptions{
+				TargetCI: c.opts.TargetCI, Antithetic: c.opts.Antithetic,
+			}); ok {
+				cacheKey = key
+			}
+		}
 
 		// Completed in a previous run: replay, no simulation.
 		if st != nil && st.Done != nil {
+			c.cachePut(cacheKey, *st.Done)
 			c.progressBase += st.Done.RunsUsed
 			if c.opts.Progress != nil {
 				c.opts.Progress(c.progressBase, c.progressTotal)
@@ -412,6 +432,31 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 				return nil
 			}
 			continue
+		}
+
+		// Result cache: a point whose content address is already cached
+		// completes without simulating. The hit is journaled (cache_hit,
+		// then the aggregates as a normal point_done) so a resume replays
+		// it without needing the cache present.
+		if cacheKey != "" {
+			if mc, hit := c.opts.Cache.Get(cacheKey); hit {
+				mc.Cached = true
+				if err := j.append(recCacheHit, cacheHitRecord{Point: pt.Index, Key: cacheKey}, false); err != nil {
+					return err
+				}
+				if err := j.append(recPointDone, doneRecord{Point: pt.Index, MC: toRecord(mc)}, true); err != nil {
+					return err
+				}
+				c.progressBase += mc.RunsUsed
+				if c.opts.Progress != nil {
+					c.opts.Progress(c.progressBase, c.progressTotal)
+				}
+				breaker[name] = 0
+				if !yield(PointResult{Point: pt, MC: mc, Status: StatusDone}) {
+					return nil
+				}
+				continue
+			}
 		}
 
 		// Circuit breaker: a strategy that keeps poisoning points stops
@@ -433,6 +478,7 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 			return err
 		}
 		if pr.Status == StatusDone {
+			c.cachePut(cacheKey, pr.MC)
 			breaker[name] = 0
 			c.progressBase += pr.MC.RunsUsed
 		} else {
@@ -449,6 +495,17 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 	}
 	sealed = true
 	return j.Close()
+}
+
+// cachePut stores a completed point under its content address, clearing
+// the provenance flag so cache entries stay canonical. No-op without a
+// cache or for uncacheable points (key "").
+func (c *Campaign) cachePut(key string, mc engine.MCResult) {
+	if c.opts.Cache == nil || key == "" {
+		return
+	}
+	mc.Cached = false
+	c.opts.Cache.Put(key, mc)
 }
 
 // runPoint drives one grid point to completion, failure or quarantine.

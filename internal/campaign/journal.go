@@ -48,6 +48,7 @@ const (
 	recAttemptFail  = "attempt_failed"
 	recPointError   = "point_error"
 	recPointSkipped = "point_skipped"
+	recCacheHit     = "cache_hit"
 	recSeal         = "seal"
 )
 
@@ -129,6 +130,7 @@ type mcRecord struct {
 	RunsUsed        int           `json:"runs_used"`
 	CIHalfWidth     extFloat      `json:"ci_half_width"`
 	Confidence      float64       `json:"confidence"`
+	Cached          bool          `json:"cached,omitempty"`
 }
 
 // summaryRecord mirrors stats.Summary with special-safe floats.
@@ -168,6 +170,16 @@ type skipRecord struct {
 	Point    int    `json:"point"`
 	Strategy string `json:"strategy"`
 	Reason   string `json:"reason"`
+}
+
+// cacheHitRecord marks a point satisfied from the result cache: the
+// point's aggregates were not simulated this run, and the journal's
+// following point_done record carries them (with its cached flag set), so
+// resume needs no cache to replay the campaign bit-identically.
+type cacheHitRecord struct {
+	Point int `json:"point"`
+	// Key is the point's content address (engine.ExperimentKey).
+	Key string `json:"key"`
 }
 
 type envelope struct {
@@ -341,6 +353,9 @@ type ReplayState struct {
 	// TornRecords counts invalid tail records dropped during replay
 	// (crash mid-write); the reopened journal truncates them.
 	TornRecords int
+	// CacheHits counts points the journal records as satisfied from the
+	// result cache instead of simulated.
+	CacheHits int
 }
 
 // CreateJournal creates a new journal at path (failing if one exists)
@@ -511,6 +526,12 @@ func (st *ReplayState) apply(rec envelope) error {
 			return fmt.Errorf("campaign: journal point_skipped: %w", err)
 		}
 		point(r.Point).Skipped = true
+	case recCacheHit:
+		var r cacheHitRecord
+		if err := json.Unmarshal(rec.D, &r); err != nil {
+			return fmt.Errorf("campaign: journal cache_hit: %w", err)
+		}
+		st.CacheHits++
 	case recSeal:
 		st.Sealed = true
 	default:
@@ -535,6 +556,7 @@ func toRecord(mc engine.MCResult) mcRecord {
 		RunsUsed:        mc.RunsUsed,
 		CIHalfWidth:     extFloat(mc.CIHalfWidth),
 		Confidence:      mc.Confidence,
+		Cached:          mc.Cached,
 	}
 }
 
@@ -553,5 +575,6 @@ func (r mcRecord) toMCResult() engine.MCResult {
 		RunsUsed:        r.RunsUsed,
 		CIHalfWidth:     float64(r.CIHalfWidth),
 		Confidence:      r.Confidence,
+		Cached:          r.Cached,
 	}
 }

@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// This file is the grid-level sweep scheduler (WithGridDispatch): the
+// whole grid runs as one experiment whose unit of dispatch is a
+// (point, replicate-chunk) work item. Workers steal across point
+// boundaries — no worker idles at a point boundary while any point in
+// the dispatch horizon still has work — while the coordinator (the
+// caller's goroutine, inside the pull iterator) folds each point's
+// replicates in strict run order through the same mcFold the sequential
+// driver uses and releases finished points to the consumer in grid
+// order through a bounded reorder window.
+//
+// Bit-identity with the sequential schedule holds by construction:
+// replicate i of a point is a pure function of (cfg.Seed, i) under the
+// CRN schedule regardless of which worker simulates it, and all
+// aggregation — including sequential-stopping decisions, which are
+// evaluated at the same fold boundaries on the same prefix — happens in
+// per-point run order on the coordinator.
+
+// gridItem is one simulated replicate in flight from a worker to the
+// coordinator. Every dispatched run index produces exactly one item: a
+// result, an error, or a canceled marker.
+type gridItem struct {
+	p, i int
+	r    Result
+	err  error
+	// canceled marks a context error observed at dispatch; the
+	// coordinator surfaces ctx.Err() itself rather than folding these.
+	canceled bool
+}
+
+// gridPointState tracks one grid point. The scheduling counters (cursor,
+// foldedPub, active) are shared with workers under gridSweep.mu; the
+// fold state (fold, pending, nextFold, mc, err, done) belongs to the
+// coordinator alone.
+type gridPointState struct {
+	cfg Config
+	key string
+	// dupOf is the lowest-index grid point with the same content
+	// address (-1 when this point is the canonical cell): the
+	// provably-duplicate k-axis × shared-device case SweepGrid
+	// documents. Duplicates are never dispatched; they receive a clone
+	// of the canonical result, marked Cached.
+	dupOf int
+
+	// Coordinator-private fold state.
+	fold     *mcFold
+	pending  map[int]gridItem
+	nextFold int
+	total    int
+	mc       MCResult
+	err      error
+	invalid  bool // err came from configuration validation at setup
+	done     bool
+
+	// Scheduling state, guarded by gridSweep.mu.
+	cursor    int  // next run index to dispatch
+	foldedPub int  // published fold progress (mirrors nextFold)
+	active    bool // dispatchable: not done, not errored, not a duplicate
+}
+
+// gridSweep is one grid-scheduled sweep execution.
+type gridSweep struct {
+	states []*gridPointState
+	arenas []*Arena
+	anti   bool
+
+	// chunk is the work-item length: a batch under fixed replication,
+	// single runs (pairs under antithetic) under sequential stopping so
+	// speculation past a stopping decision stays as bounded as the
+	// sequential driver's dispatch gate.
+	chunk int
+	// window bounds per-point dispatch past the fold frontier — the
+	// same 4×workers speculation bound the sequential driver's reorder
+	// gate enforces, which also caps the pending map per point.
+	window int
+	// lookahead bounds dispatch past the yield frontier in points,
+	// capping how many finished MCResults the reorder window can hold.
+	lookahead int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// nextYield is the reorder frontier: the lowest grid point not yet
+	// delivered to the consumer. Written by the coordinator only.
+	nextYield int
+	// errPoint is the lowest grid point that failed; dispatch freezes at
+	// it (points before it still complete, exactly the prefix the
+	// sequential schedule would have delivered) and the sweep surfaces
+	// its error when the yield frontier reaches it.
+	errPoint int
+	halted   bool
+
+	dups map[int][]int
+	memo *sweepMemo
+}
+
+// sweepGrid evaluates the grid under the grid-level scheduler. It is
+// pinned bit-identical to sweepSequential (including MCResult.Cached
+// provenance) for every combination of options that routes here.
+func (s *Session) sweepGrid(ctx context.Context, base Config, pts []SweepPoint, runs int, yield func(SweepPoint, MCResult) bool) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	if runs <= 0 {
+		return sweepPointErr(pts[0], fmt.Errorf("engine: non-positive run count %d", runs))
+	}
+	// The pool sizes to the total outstanding grid work, not any single
+	// point's replication count: a 30-point × 4-run grid keeps 16 workers
+	// busy even though no point alone would.
+	arenas := s.arenasFor(len(pts) * runs)
+	workers := len(arenas)
+
+	g := &gridSweep{
+		states:    make([]*gridPointState, len(pts)),
+		arenas:    arenas,
+		anti:      s.opts.Antithetic,
+		chunk:     8,
+		window:    4 * workers,
+		lookahead: 2*workers + 2,
+		errPoint:  len(pts),
+		dups:      map[int][]int{},
+		memo:      newSweepMemo(s, runs),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	if s.opts.TargetCI.withDefaults().HalfWidth > 0 {
+		g.chunk = 1
+		if g.anti {
+			g.chunk = 2
+		}
+	}
+
+	keyOwner := map[string]int{}
+	for idx, pt := range pts {
+		cfg := pt.Apply(base)
+		st := &gridPointState{cfg: cfg, dupOf: -1}
+		g.states[idx] = st
+		if err := cfg.Validate(); err != nil {
+			st.err, st.invalid = err, true
+			if idx < g.errPoint {
+				g.errPoint = idx
+			}
+			continue
+		}
+		st.key = g.memo.key(cfg)
+		if st.key != "" {
+			if owner, ok := keyOwner[st.key]; ok {
+				st.dupOf = owner
+				if can := g.states[owner]; can.done {
+					st.mc = cloneMCResult(can.mc)
+					st.mc.Cached = true
+					st.done = true
+				} else {
+					g.dups[owner] = append(g.dups[owner], idx)
+				}
+				continue
+			}
+			keyOwner[st.key] = idx
+			if mc, ok := g.memo.lookup(st.key); ok {
+				st.mc = mc
+				st.done = true
+				continue
+			}
+		}
+		st.fold = newMCFold(cfg, runs, s.opts)
+		st.total = st.fold.total
+		st.pending = make(map[int]gridItem, g.window)
+		st.active = true
+	}
+
+	// One global monotone progress counter spans the grid: replicates of
+	// concurrent points fold interleaved, so per-point offsets (the
+	// sequential schedule's doneBase) would run backwards here.
+	totalRuns := len(pts) * runs
+	if s.progress != nil {
+		gDone := 0
+		report := func(int) {
+			gDone++
+			s.progress(gDone, totalRuns)
+		}
+		for _, st := range g.states {
+			if st.fold != nil {
+				st.fold.progress = report
+			}
+		}
+	}
+
+	resCh := make(chan gridItem, 4*workers+4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.work(ctx, w, resCh)
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+	// Halt dispatch and drain on every exit — error, cancellation, early
+	// break, even a panicking yield — so the iterator never leaks a
+	// worker goroutine past its return.
+	defer func() {
+		g.mu.Lock()
+		g.halted = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		for range resCh {
+		}
+	}()
+
+	for {
+		// Release finished points in grid order. The checks mirror the
+		// sequential schedule's per-point entry: an invalid
+		// configuration surfaces at its point, cancellation surfaces at
+		// the first point not yet delivered when it was observed.
+		for g.nextYield < len(pts) {
+			st := g.states[g.nextYield]
+			if st.invalid {
+				return sweepPointErr(pts[g.nextYield], st.err)
+			}
+			if e := ctx.Err(); e != nil {
+				return sweepPointErr(pts[g.nextYield], e)
+			}
+			if st.err != nil {
+				return sweepPointErr(pts[g.nextYield], st.err)
+			}
+			if !st.done {
+				break
+			}
+			if !yield(pts[g.nextYield], st.mc) {
+				return nil
+			}
+			g.mu.Lock()
+			g.nextYield++
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		}
+		if g.nextYield == len(pts) {
+			return nil
+		}
+		select {
+		case it, ok := <-resCh:
+			if !ok {
+				// Workers only exit once halted, which only the defer
+				// sets — unreachable, but fail loudly over hanging.
+				return fmt.Errorf("engine: grid sweep: result channel closed with %d points pending", len(pts)-g.nextYield)
+			}
+			g.process(it)
+		case <-ctx.Done():
+			// Surfaced by the yield loop's ctx check next iteration.
+		}
+	}
+}
+
+// work is one grid worker: claim a work item, simulate its runs on this
+// worker's arena (reconfigured when the claim switches points), send one
+// item per run. Exits when next reports the sweep halted.
+func (g *gridSweep) work(ctx context.Context, w int, resCh chan<- gridItem) {
+	lastP := -1
+	reconfigured := false
+	for {
+		p, i, n := g.next(lastP)
+		if p < 0 {
+			return
+		}
+		if p != lastP {
+			lastP = p
+			reconfigured = false
+		}
+		cfg := g.states[p].cfg
+		var claimErr error
+		if faultinject.Armed() {
+			claimErr = fireGridDispatch(ctx, p, i, n)
+		}
+		for k := i; k < i+n; k++ {
+			if claimErr != nil {
+				resCh <- gridItem{p: p, i: k, err: claimErr}
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				resCh <- gridItem{p: p, i: k, err: err, canceled: true}
+				continue
+			}
+			r, err := runReplicate(ctx, g.arenas, w, &reconfigured, cfg, k, g.anti)
+			resCh <- gridItem{p: p, i: k, r: r, err: err}
+		}
+	}
+}
+
+// fireGridDispatch fires the dispatch fault-injection site under the same
+// panic guard runReplicate gives user code: an injected panic surfaces as
+// a *PanicError on the chunk's first run instead of killing the process.
+func fireGridDispatch(ctx context.Context, p, i, n int) (err error) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			err = &PanicError{Run: i, Value: pv, Stack: debug.Stack()}
+		}
+	}()
+	return faultinject.Fire(ctx, faultinject.SiteGridDispatch,
+		faultinject.GridDispatch{Point: p, Run: i, Len: n})
+}
+
+// next claims the next work item for a worker: its current point while
+// that point has dispatchable work (keeping the arena configured), else
+// the lowest-index point in the dispatch horizon — work stealing across
+// point boundaries. Blocks while no work is eligible; returns p = -1
+// once the sweep halts.
+func (g *gridSweep) next(lastP int) (p, i, n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.halted {
+			return -1, 0, 0
+		}
+		p = -1
+		if lastP >= 0 && g.eligibleLocked(lastP) {
+			p = lastP
+		} else {
+			hi := min(len(g.states), g.nextYield+g.lookahead, g.errPoint)
+			for q := g.nextYield; q < hi; q++ {
+				if g.eligibleLocked(q) {
+					p = q
+					break
+				}
+			}
+		}
+		if p >= 0 {
+			st := g.states[p]
+			n = min(g.chunk, g.window-(st.cursor-st.foldedPub), st.total-st.cursor)
+			i = st.cursor
+			st.cursor += n
+			return p, i, n
+		}
+		g.cond.Wait()
+	}
+}
+
+// eligibleLocked reports whether point p has dispatchable work. Callers
+// hold g.mu.
+func (g *gridSweep) eligibleLocked(p int) bool {
+	if p >= g.errPoint || p >= g.nextYield+g.lookahead {
+		return false
+	}
+	st := g.states[p]
+	return st.active && st.cursor < st.total && st.cursor-st.foldedPub < g.window
+}
+
+// process folds one delivered item on the coordinator: buffer it, fold
+// the point's contiguous prefix in run order, and finalize the point when
+// its stopping rule fires or its budget completes. Items for points that
+// already finished (runs speculated past a stop, or past a failure) are
+// dropped, exactly as the sequential driver ignores post-stop deliveries.
+func (g *gridSweep) process(it gridItem) {
+	st := g.states[it.p]
+	if st.done || st.err != nil || it.canceled {
+		return
+	}
+	st.pending[it.i] = it
+	changed := false
+	for {
+		q, ok := st.pending[st.nextFold]
+		if !ok {
+			break
+		}
+		delete(st.pending, st.nextFold)
+		if q.err != nil {
+			st.err = fmt.Errorf("engine: run %d: %w", q.i, q.err)
+			st.pending = nil
+			g.mu.Lock()
+			st.active = false
+			if it.p < g.errPoint {
+				g.errPoint = it.p
+			}
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return
+		}
+		stop := st.fold.fold(q.i, q.r)
+		st.nextFold++
+		changed = true
+		if stop || st.nextFold == st.total {
+			st.mc = st.fold.finalize()
+			st.done = true
+			st.pending = nil
+			g.finishPoint(it.p)
+			break
+		}
+	}
+	if changed {
+		g.mu.Lock()
+		st.foldedPub = st.nextFold
+		if st.done {
+			st.active = false
+		}
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// finishPoint memoises a completed canonical point and materialises its
+// duplicate cells as Cached clones.
+func (g *gridSweep) finishPoint(p int) {
+	st := g.states[p]
+	g.memo.store(st.key, st.mc)
+	for _, d := range g.dups[p] {
+		sd := g.states[d]
+		sd.mc = cloneMCResult(st.mc)
+		sd.mc.Cached = true
+		sd.done = true
+	}
+	delete(g.dups, p)
+}

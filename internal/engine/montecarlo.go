@@ -45,6 +45,11 @@ type MCResult struct {
 	CIHalfWidth float64
 	// Confidence is the level CIHalfWidth was computed at (default 0.95).
 	Confidence float64
+	// Cached marks a result served from a result cache — or deduplicated
+	// against an identical earlier cell of the same grid — instead of
+	// being simulated. The values are bit-identical to a fresh
+	// simulation either way; the flag only records provenance.
+	Cached bool
 }
 
 // MCOptions selects what a Monte-Carlo experiment materialises. The zero
@@ -181,6 +186,147 @@ func normWorkers(runs, workers int) int {
 	return workers
 }
 
+// mcFold is the aggregation state of one Monte-Carlo experiment: every
+// run's Result folds in strict run order through fold, and finalize
+// produces the MCResult. It is the single home of the fold semantics —
+// the sequential driver (monteCarloWith) and the grid-sweep scheduler
+// both fold through it, which is what makes the two paths bit-identical
+// by construction rather than by parallel maintenance.
+type mcFold struct {
+	opts    MCOptions
+	seq     TargetCI
+	seqOn   bool
+	total   int // replicate budget (MaxRuns under sequential stopping)
+	minRuns int // stopping-rule floor, rounded up to a pair boundary
+	// progress, when set, observes each folded run as done = i+1, at the
+	// exact point of the fold the sequential driver always reported from.
+	progress func(done int)
+
+	mc          MCResult
+	acc         stats.Accumulator
+	ciAcc       stats.Accumulator
+	pairEven    float64 // the even member awaiting its antithetic twin
+	util, fails float64
+	folded      int
+	stopped     bool
+}
+
+// newMCFold builds the fold state for one experiment over cfg.
+func newMCFold(cfg Config, runs int, opts MCOptions) *mcFold {
+	seq := opts.TargetCI.withDefaults()
+	seqOn := seq.HalfWidth > 0
+	total := runs
+	if seqOn && seq.MaxRuns > 0 {
+		total = seq.MaxRuns
+	}
+	minRuns := seq.MinRuns
+	if opts.Antithetic && minRuns%2 == 1 {
+		minRuns++ // stopping decisions only at pair boundaries
+	}
+	f := &mcFold{opts: opts, seq: seq, seqOn: seqOn, total: total, minRuns: minRuns}
+	f.mc = MCResult{Strategy: cfg.Strategy.Name()}
+	if opts.KeepResults {
+		f.mc.Results = make([]Result, total)
+	}
+	if opts.KeepWasteRatios {
+		f.mc.WasteRatios = make([]float64, total)
+	}
+	return f
+}
+
+// restore rehydrates the fold from a snapshot: continuing from it is
+// bit-identical to never having been interrupted, because every fold past
+// this point sees the same accumulator state and the CRN schedule
+// reproduces replicates Folded..total-1 exactly.
+func (f *mcFold) restore(rs *MCSnapshot) error {
+	if err := f.acc.Restore(rs.Acc); err != nil {
+		return fmt.Errorf("engine: resume: %w", err)
+	}
+	if err := f.ciAcc.Restore(rs.CIAcc); err != nil {
+		return fmt.Errorf("engine: resume: %w", err)
+	}
+	f.util, f.fails, f.pairEven = rs.Util, rs.Fails, rs.PairEven
+	f.folded = rs.Folded
+	return nil
+}
+
+// fold incorporates run i's result and reports whether the sequential
+// stopping rule fired on it. Runs must arrive in strict run order.
+func (f *mcFold) fold(i int, r Result) (stop bool) {
+	if f.opts.OnResult != nil {
+		f.opts.OnResult(i, r)
+	}
+	if f.mc.Results != nil {
+		f.mc.Results[i] = r
+	}
+	if f.mc.WasteRatios != nil {
+		f.mc.WasteRatios[i] = r.WasteRatio
+	} else {
+		f.acc.Add(r.WasteRatio)
+	}
+	f.util += r.Utilization
+	f.fails += float64(r.Failures)
+	f.folded++
+	v := r.WasteRatio
+	if f.opts.ciValue != nil {
+		v = f.opts.ciValue(i, v)
+	}
+	if f.opts.Antithetic {
+		if i%2 == 0 {
+			f.pairEven = v
+		} else {
+			f.ciAcc.Add((f.pairEven + v) / 2)
+		}
+	} else {
+		f.ciAcc.Add(v)
+	}
+	if f.progress != nil {
+		f.progress(i + 1)
+	}
+	if f.opts.onSnapshot != nil {
+		every := f.opts.snapshotEvery
+		if every <= 0 {
+			every = 1
+		}
+		if f.folded%every == 0 {
+			f.opts.onSnapshot(MCSnapshot{
+				Folded:   f.folded,
+				Util:     f.util,
+				Fails:    f.fails,
+				PairEven: f.pairEven,
+				Acc:      f.acc.State(),
+				CIAcc:    f.ciAcc.State(),
+			})
+		}
+	}
+	if f.seqOn && f.folded >= f.minRuns && f.folded < f.total &&
+		(!f.opts.Antithetic || f.folded%2 == 0) &&
+		f.ciAcc.HalfWidth(f.seq.Confidence) <= f.seq.HalfWidth {
+		f.stopped = true
+	}
+	return f.stopped
+}
+
+// finalize closes the experiment over the folded prefix.
+func (f *mcFold) finalize() MCResult {
+	mc := f.mc
+	if mc.Results != nil {
+		mc.Results = mc.Results[:f.folded]
+	}
+	if mc.WasteRatios != nil {
+		mc.WasteRatios = mc.WasteRatios[:f.folded]
+		mc.Summary = stats.Summarize(mc.WasteRatios)
+	} else {
+		mc.Summary = f.acc.Summary()
+	}
+	mc.MeanUtilization = f.util / float64(f.folded)
+	mc.MeanFailures = f.fails / float64(f.folded)
+	mc.RunsUsed = f.folded
+	mc.Confidence = f.seq.Confidence
+	mc.CIHalfWidth = f.ciAcc.HalfWidth(f.seq.Confidence)
+	return mc
+}
+
 // replicateDraw resolves run index i under the CRN schedule
 // (rng.ReplicateSeed: independent of the total run count, so extending
 // an experiment reuses earlier runs exactly). In antithetic mode runs
@@ -239,16 +385,9 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	if (opts.onSnapshot != nil) && (opts.KeepResults || opts.KeepWasteRatios) {
 		return MCResult{}, fmt.Errorf("engine: snapshots require the streaming path (no KeepResults/KeepWasteRatios)")
 	}
-	seq := opts.TargetCI.withDefaults()
-	seqOn := seq.HalfWidth > 0
-	total := runs
-	if seqOn && seq.MaxRuns > 0 {
-		total = seq.MaxRuns
-	}
-	minRuns := seq.MinRuns
-	if opts.Antithetic && minRuns%2 == 1 {
-		minRuns++ // stopping decisions only at pair boundaries
-	}
+	f := newMCFold(cfg, runs, opts)
+	f.progress = progress
+	total := f.total
 	if start > total {
 		return MCResult{}, fmt.Errorf("engine: resume snapshot folds %d replicates, experiment has %d", start, total)
 	}
@@ -323,38 +462,13 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 		}
 	}()
 
-	mc := MCResult{Strategy: cfg.Strategy.Name()}
-	if opts.KeepResults {
-		mc.Results = make([]Result, total)
-	}
-	if opts.KeepWasteRatios {
-		mc.WasteRatios = make([]float64, total)
-	}
-	var acc stats.Accumulator
-	// ciAcc is the estimator accumulator behind CIHalfWidth and the
-	// stopping rule: raw waste ratios (or their ciValue transform — the
-	// paired difference in ComparePaired), folded as antithetic pair
-	// averages when that mode is on.
-	var ciAcc stats.Accumulator
-	var pairEven float64 // the even member awaiting its antithetic twin
-	var util, fails float64
 	var firstErr error
-	folded := 0
 	if rs := opts.resume; rs != nil {
-		// Restore the exact mid-experiment state: continuing from it is
-		// bit-identical to never having been interrupted, because every
-		// Add past this point sees the same accumulator state and the
-		// CRN schedule reproduces replicates Folded..total-1 exactly.
-		if err := acc.Restore(rs.Acc); err != nil {
-			return MCResult{}, fmt.Errorf("engine: resume: %w", err)
+		if err := f.restore(rs); err != nil {
+			return MCResult{}, err
 		}
-		if err := ciAcc.Restore(rs.CIAcc); err != nil {
-			return MCResult{}, fmt.Errorf("engine: resume: %w", err)
-		}
-		util, fails, pairEven = rs.Util, rs.Fails, rs.PairEven
-		folded = start
 	}
-	stopped, stopClosed := false, false
+	stopClosed := false
 
 	halt := func() {
 		if !stopClosed {
@@ -370,14 +484,14 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	}
 	deliver := func(it item) {
 		<-gate
-		if firstErr == nil && !stopped && ctx.Err() != nil {
+		if firstErr == nil && !f.stopped && ctx.Err() != nil {
 			abort(ctx.Err())
 		}
 		if it.err != nil {
 			// Errors surfacing from runs dispatched before a graceful
 			// sequential stop cannot invalidate the already-complete
 			// experiment; outside that window they abort it.
-			if !stopped {
+			if !f.stopped {
 				if it.canceled {
 					abort(it.err)
 				} else {
@@ -386,59 +500,10 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 			}
 			return
 		}
-		if firstErr != nil || stopped {
+		if firstErr != nil || f.stopped {
 			return
 		}
-		if opts.OnResult != nil {
-			opts.OnResult(it.i, it.r)
-		}
-		if mc.Results != nil {
-			mc.Results[it.i] = it.r
-		}
-		if mc.WasteRatios != nil {
-			mc.WasteRatios[it.i] = it.r.WasteRatio
-		} else {
-			acc.Add(it.r.WasteRatio)
-		}
-		util += it.r.Utilization
-		fails += float64(it.r.Failures)
-		folded++
-		v := it.r.WasteRatio
-		if opts.ciValue != nil {
-			v = opts.ciValue(it.i, v)
-		}
-		if opts.Antithetic {
-			if it.i%2 == 0 {
-				pairEven = v
-			} else {
-				ciAcc.Add((pairEven + v) / 2)
-			}
-		} else {
-			ciAcc.Add(v)
-		}
-		if progress != nil {
-			progress(it.i + 1)
-		}
-		if opts.onSnapshot != nil {
-			every := opts.snapshotEvery
-			if every <= 0 {
-				every = 1
-			}
-			if folded%every == 0 {
-				opts.onSnapshot(MCSnapshot{
-					Folded:   folded,
-					Util:     util,
-					Fails:    fails,
-					PairEven: pairEven,
-					Acc:      acc.State(),
-					CIAcc:    ciAcc.State(),
-				})
-			}
-		}
-		if seqOn && folded >= minRuns && folded < total &&
-			(!opts.Antithetic || folded%2 == 0) &&
-			ciAcc.HalfWidth(seq.Confidence) <= seq.HalfWidth {
-			stopped = true
+		if f.fold(it.i, it.r) {
 			halt()
 		}
 	}
@@ -467,7 +532,7 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	}
 	wg.Wait()
 
-	if firstErr == nil && !stopped && nextIdx < total {
+	if firstErr == nil && !f.stopped && nextIdx < total {
 		// The dispatcher halted early on ctx without any worker
 		// observing the cancellation (all dispatched runs completed
 		// cleanly): the experiment is still incomplete.
@@ -476,21 +541,7 @@ func monteCarloWith(ctx context.Context, arenas []*Arena, cfg Config, runs int, 
 	if firstErr != nil {
 		return MCResult{}, firstErr
 	}
-	if mc.Results != nil {
-		mc.Results = mc.Results[:folded]
-	}
-	if mc.WasteRatios != nil {
-		mc.WasteRatios = mc.WasteRatios[:folded]
-		mc.Summary = stats.Summarize(mc.WasteRatios)
-	} else {
-		mc.Summary = acc.Summary()
-	}
-	mc.MeanUtilization = util / float64(folded)
-	mc.MeanFailures = fails / float64(folded)
-	mc.RunsUsed = folded
-	mc.Confidence = seq.Confidence
-	mc.CIHalfWidth = ciAcc.HalfWidth(seq.Confidence)
-	return mc, nil
+	return f.finalize(), nil
 }
 
 // runReplicate simulates run i on worker w's arena under a panic guard: a

@@ -42,6 +42,13 @@ type Session struct {
 	// Session's lifetime. Slot w belongs to worker w; an arena configured
 	// for an earlier scenario is reconfigured in place, never rebuilt.
 	arenas []*Arena
+	// noGrid disables the grid-level sweep scheduler (WithGridDispatch);
+	// the zero value keeps it on, so every construction path — including
+	// the legacy shims — defaults to grid dispatch.
+	noGrid bool
+	// cache, when non-nil, memoises cacheable sweep points by content
+	// address (WithResultCache).
+	cache ResultCache
 }
 
 // SessionOption configures a Session at construction.
@@ -113,6 +120,37 @@ func WithAntithetic(on bool) SessionOption {
 // open-ended search, not a campaign with a known total.
 func WithProgress(fn func(done, total int)) SessionOption {
 	return func(s *Session) { s.progress = fn }
+}
+
+// WithGridDispatch selects the sweep execution schedule. On (the
+// default), Session.Sweep runs as one grid-level experiment: workers draw
+// (point, replicate-chunk) work items from the whole grid and steal
+// across point boundaries, so no worker idles at a point boundary while
+// any point still has work; a reorder window delivers results to the pull
+// iterator in grid order exactly as the sequential schedule does. Off
+// evaluates the grid one point at a time with a full worker barrier
+// between points — the reference schedule grid dispatch is pinned
+// bit-identical to.
+//
+// The two schedules produce bit-identical results regardless of
+// interleaving (each replicate is a pure function of the configuration
+// seed and run index, and each point folds in strict run order), so this
+// knob is purely a wall-clock trade. A session with WithOnResult falls
+// back to the sequential schedule: that hook contracts whole-experiment
+// run order, which concurrent points would interleave.
+func WithGridDispatch(on bool) SessionOption {
+	return func(s *Session) { s.noGrid = !on }
+}
+
+// WithResultCache memoises the session's cacheable Sweep points in c:
+// before simulating a point the sweep consults the cache by the point's
+// ExperimentKey, and every computed point is stored back. A hit is
+// returned with MCResult.Cached set; its values are bit-identical to the
+// simulation it replaced. Points with per-run observers (WithOnResult,
+// Config.Trace) bypass the cache — see ExperimentKey. Repeated cells
+// within one grid are deduplicated even without a cache installed.
+func WithResultCache(c ResultCache) SessionOption {
+	return func(s *Session) { s.cache = c }
 }
 
 // NewSession builds an experiment driver. The arena pool starts empty and
@@ -206,24 +244,59 @@ func (s *Session) monteCarlo(ctx context.Context, cfg Config, runs int, opts MCO
 //	if err() != nil { ... }
 //
 // The sequence is single-use: re-ranging it re-runs the experiments.
+//
+// Execution schedule: by default the whole grid runs as one experiment —
+// workers steal (point, replicate-chunk) work items across point
+// boundaries (see WithGridDispatch) — and repeated cells are served once
+// and deduplicated (see WithResultCache). Both behaviours are pinned
+// bit-identical to the sequential one-point-at-a-time schedule.
 func (s *Session) Sweep(ctx context.Context, base Config, grid SweepGrid, runs int) (iter.Seq2[SweepPoint, MCResult], func() error) {
 	var err error
 	seq := func(yield func(SweepPoint, MCResult) bool) {
 		err = nil
 		pts := grid.Points(base)
-		total := len(pts) * runs
-		for _, pt := range pts {
-			mc, e := s.monteCarlo(ctx, pt.Apply(base), runs, s.opts, pt.Index*runs, total)
-			if e != nil {
-				err = fmt.Errorf("engine: sweep point %d (%s): %w", pt.Index, pt.Strategy.Name(), e)
-				return
-			}
-			if !yield(pt, mc) {
-				return
-			}
+		if s.noGrid || s.opts.OnResult != nil {
+			err = s.sweepSequential(ctx, base, pts, runs, yield)
+		} else {
+			err = s.sweepGrid(ctx, base, pts, runs, yield)
 		}
 	}
 	return seq, func() error { return err }
+}
+
+// sweepPointErr wraps a point failure exactly as Sweep reports it.
+func sweepPointErr(pt SweepPoint, err error) error {
+	return fmt.Errorf("engine: sweep point %d (%s): %w", pt.Index, pt.Strategy.Name(), err)
+}
+
+// sweepSequential is the reference schedule: one point at a time, a full
+// worker barrier between points.
+func (s *Session) sweepSequential(ctx context.Context, base Config, pts []SweepPoint, runs int, yield func(SweepPoint, MCResult) bool) error {
+	total := len(pts) * runs
+	memo := newSweepMemo(s, runs)
+	for _, pt := range pts {
+		cfg := pt.Apply(base)
+		key := memo.key(cfg)
+		mc, hit := memo.lookup(key)
+		if hit {
+			// The computing path observes cancellation on entry to the
+			// point; a memo hit must not slip past it.
+			if e := ctx.Err(); e != nil {
+				return sweepPointErr(pt, e)
+			}
+		} else {
+			var e error
+			mc, e = s.monteCarlo(ctx, cfg, runs, s.opts, pt.Index*runs, total)
+			if e != nil {
+				return sweepPointErr(pt, e)
+			}
+			memo.store(key, mc)
+		}
+		if !yield(pt, mc) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Compare runs the same Monte-Carlo experiment for every given strategy —

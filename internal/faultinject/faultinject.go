@@ -34,7 +34,20 @@ const (
 	// SiteJournalSync fires before each journal fsync; detail is nil.
 	// Return an error to fail the sync.
 	SiteJournalSync = "campaign/journal.sync"
+	// SiteGridDispatch fires in the grid sweep scheduler when a worker
+	// claims a (point, replicate-chunk) work item, before any replicate
+	// of the chunk is simulated; detail is a GridDispatch. An error
+	// fails every run of the chunk (aborting the sweep at that point); a
+	// panic exercises the claim guard's recovery path; a hook blocking
+	// on ctx simulates a stalled worker that cancellation must reap.
+	SiteGridDispatch = "engine/grid.dispatch"
 )
+
+// GridDispatch is the detail value of SiteGridDispatch: the claimed work
+// item — grid point index, first run index, and chunk length.
+type GridDispatch struct {
+	Point, Run, Len int
+}
 
 // Hook is an armed injection: return nil to let the site proceed, return
 // an error to fail it, panic to exercise the site's recovery path, or

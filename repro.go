@@ -112,8 +112,12 @@ type (
 	Session = engine.Session
 	// SessionOption configures a Session at construction (WithWorkers,
 	// WithKeepResults, WithKeepWasteRatios, WithOnResult, WithProgress,
-	// WithTargetCI, WithAntithetic).
+	// WithTargetCI, WithAntithetic, WithGridDispatch, WithResultCache).
 	SessionOption = engine.SessionOption
+	// ResultCache is the content-addressed Monte-Carlo result store a
+	// session consults under WithResultCache; resultcache.New builds the
+	// standard memory+disk implementation.
+	ResultCache = engine.ResultCache
 	// Arena is a reusable simulation workspace: built once, re-seeded per
 	// replicate, so steady-state Monte-Carlo replicates allocate near
 	// zero. Replicates are bit-identical to fresh Run calls.
@@ -411,6 +415,30 @@ func WithTargetCI(halfWidth, confidence float64, minRuns, maxRuns int) SessionOp
 // estimator and sequential stopping operate on the pair averages while
 // per-run outputs stay per-replicate.
 func WithAntithetic(on bool) SessionOption { return engine.WithAntithetic(on) }
+
+// WithGridDispatch selects the sweep execution path: on (the default) a
+// Sweep schedules (point, replicate-chunk) work items across the whole
+// grid with work stealing, off runs points one after another. Results are
+// bit-identical either way — the pinned CRN schedule makes every
+// replicate a pure function of (seed, index) — so the switch trades only
+// wall-clock and exists mainly for measurement.
+func WithGridDispatch(on bool) SessionOption { return engine.WithGridDispatch(on) }
+
+// WithResultCache attaches a content-addressed Monte-Carlo result cache
+// (see resultcache.New) to the session: every cacheable experiment is
+// looked up by ExperimentKey before simulating and stored after, and
+// served results carry MCResult.Cached. Within one Sweep, grid cells with
+// identical content addresses (e.g. the token-channel axis of a
+// shared-device strategy) deduplicate even without a cache attached.
+func WithResultCache(c ResultCache) SessionOption { return engine.WithResultCache(c) }
+
+// ExperimentKey returns the content address of a Monte-Carlo experiment —
+// a hash of the resolved configuration, seed schedule, stopping rule and
+// materialisation options — and whether the experiment is cacheable.
+// Equal keys mean bit-identical results under the pinned CRN schedule.
+func ExperimentKey(cfg Config, runs int, opts MCOptions) (string, bool) {
+	return engine.ExperimentKey(cfg, runs, opts)
+}
 
 // Run executes one simulation (a single-use Arena under the hood).
 //
