@@ -39,8 +39,10 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro"
+	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
 	"repro/internal/resultcache"
@@ -71,10 +73,14 @@ func main() {
 		scheduler    = flag.String("scheduler", "auto", "event scheduler: auto, heap4 or calendar (bit-identical results; throughput only)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
+		ndjson       = flag.Bool("ndjson", false, "emit coopsimd wire frames (api.StreamFrame NDJSON) instead of rows; runs the same streaming campaign path as the daemon, so output is bit-identical to GET /v1/campaigns/{id}/results")
+		progressFlag = flag.Bool("progress", false, "report campaign progress (points done/total, replicates folded, cache hits) on stderr while running")
 	)
 	campaignFlags := cliutil.AddCampaignFlags(flag.CommandLine)
 	cacheFlags := cliutil.AddCacheFlags(flag.CommandLine)
+	version := cliutil.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersion("coopsim", *version)
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
@@ -119,6 +125,23 @@ func main() {
 	cache, err := cacheFlags.Open()
 	if err != nil {
 		fail(err)
+	}
+
+	// -ndjson emits the daemon's wire framing by running the identical
+	// streaming campaign path; one point frame per line on stdout.
+	var emitFrame func(campaign.PointResult)
+	if *ndjson {
+		if *tsv || *breakdown || *paired {
+			fail(errors.New("-ndjson replaces row output; it is incompatible with -tsv, -breakdown and -paired"))
+		}
+		emitFrame = func(pr campaign.PointResult) {
+			p := api.FromPointResult(pr)
+			b, err := api.EncodeJSON(api.StreamFrame{Point: &p})
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(b)
+		}
 	}
 
 	if *tsv {
@@ -201,7 +224,7 @@ func main() {
 		}
 	}
 	printTheory := func(pt repro.SweepPoint) {
-		if !*theory || (pt.Index+1)%nStrats != 0 {
+		if *ndjson || !*theory || (pt.Index+1)%nStrats != 0 {
 			return
 		}
 		bwGBps := pt.BandwidthBps / units.GB
@@ -228,7 +251,7 @@ func main() {
 		}
 	}
 
-	if campaignFlags.Enabled() {
+	if campaignFlags.Enabled() || *ndjson {
 		// The campaign layer owns its streaming session (the only path
 		// with O(1) resumable state), so the exact-candlestick and
 		// per-run-detail options are out: quantiles beyond 64 runs are
@@ -244,7 +267,13 @@ func main() {
 		if cache != nil {
 			copts.Cache = cache
 		}
-		runCampaign(ctx, copts, base, grid, *runs, stopProfiles, printRow, printTheory)
+		camp := campaign.New(copts)
+		stopProgress := func() {}
+		if *progressFlag {
+			stopProgress = startProgressReporter(camp)
+		}
+		runCampaign(ctx, camp, base, grid, *runs, stopProfiles, printRow, printTheory, emitFrame)
+		stopProgress()
 		printCacheSummary(cache, cachedRows, totalRows)
 		return
 	}
@@ -257,6 +286,20 @@ func main() {
 		repro.WithKeepResults(*breakdown),
 		repro.WithAntithetic(*antithetic),
 		repro.WithTargetCI(tci.HalfWidth, tci.Confidence, tci.MinRuns, tci.MaxRuns),
+	}
+	if *progressFlag {
+		// The plain path has no campaign snapshot; report folded
+		// replicates at decile boundaries instead.
+		lastDecile := -1
+		sopts = append(sopts, repro.WithProgress(func(done, total int) {
+			if total <= 0 {
+				return
+			}
+			if d := done * 10 / total; d != lastDecile {
+				lastDecile = d
+				fmt.Fprintf(os.Stderr, "coopsim: progress: replicates %d/%d\n", done, total)
+			}
+		}))
 	}
 	if cache != nil {
 		sopts = append(sopts, repro.WithResultCache(cache))
@@ -308,13 +351,46 @@ func printCacheSummary(cache *resultcache.Cache, cachedRows, totalRows int) {
 	cliutil.ReportCacheStats("coopsim", cache)
 }
 
+// startProgressReporter prints the campaign's progress snapshot to
+// stderr once a second until the returned stop function runs (which
+// prints a final snapshot).
+func startProgressReporter(camp *campaign.Campaign) (stop func()) {
+	report := func() {
+		p := camp.Snapshot()
+		fmt.Fprintf(os.Stderr, "coopsim: progress: points %d/%d (%d failed, %d skipped, %d restored), replicates %d/%d, cache hits %d\n",
+			p.PointsDone, p.PointsTotal, p.PointsFailed, p.PointsSkipped, p.PointsRestored,
+			p.ReplicatesFolded, p.ReplicatesTotal, p.CacheHits)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				report()
+			case <-done:
+				report()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
 // runCampaign drives the grid through the durable campaign layer:
 // journaled progress, per-point retry/quarantine, circuit breaking. Rows
-// print as on the plain path; failed and skipped points go to stderr and
-// make the command exit non-zero after the whole grid has been given its
-// chance — one poisoned point does not abort a sweep.
-func runCampaign(ctx context.Context, copts campaign.Options, base repro.Config, grid repro.SweepGrid, runs int, stopProfiles func(), printRow func(repro.SweepPoint, repro.MCResult), printTheory func(repro.SweepPoint)) {
-	seq, errf := campaign.New(copts).RunSweep(ctx, base, grid, runs)
+// print as on the plain path (or as wire frames when emit is set);
+// failed and skipped points go to stderr and make the command exit
+// non-zero after the whole grid has been given its chance — one
+// poisoned point does not abort a sweep.
+func runCampaign(ctx context.Context, camp *campaign.Campaign, base repro.Config, grid repro.SweepGrid, runs int, stopProfiles func(), printRow func(repro.SweepPoint, repro.MCResult), printTheory func(repro.SweepPoint), emit func(campaign.PointResult)) {
+	seq, errf := camp.RunSweep(ctx, base, grid, runs)
 	restored, failed, skipped := 0, 0, 0
 	for pr := range seq {
 		switch pr.Status {
@@ -322,12 +398,22 @@ func runCampaign(ctx context.Context, copts campaign.Options, base repro.Config,
 			if pr.Restored {
 				restored++
 			}
-			printRow(pr.Point, pr.MC)
+			if emit != nil {
+				emit(pr)
+			} else {
+				printRow(pr.Point, pr.MC)
+			}
 		case campaign.StatusFailed:
 			failed++
+			if emit != nil {
+				emit(pr)
+			}
 			fmt.Fprintf(os.Stderr, "coopsim: %v\n", pr.Err)
 		case campaign.StatusSkipped:
 			skipped++
+			if emit != nil {
+				emit(pr)
+			}
 			fmt.Fprintf(os.Stderr, "coopsim: point %d (%s) skipped: %v\n",
 				pr.Point.Index, pr.Point.Strategy.Name(), pr.Err)
 		}

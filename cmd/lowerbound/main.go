@@ -37,7 +37,9 @@ func main() {
 		days         = flag.Float64("days", 60, "simulated segment length for -simulate")
 		seed         = flag.Uint64("seed", 1, "master random seed for -simulate")
 	)
+	version := cliutil.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersion("lowerbound", *version)
 
 	mk := func(bwGBps, mtbfYears float64) repro.Platform {
 		p, err := cliutil.Platform(*platformName, bwGBps, mtbfYears)

@@ -74,7 +74,9 @@ func main() {
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap (allocs) profile to this file on exit")
 	opts.campaign = cliutil.AddCampaignFlags(flag.CommandLine)
 	cacheFlags := cliutil.AddCacheFlags(flag.CommandLine)
+	version := cliutil.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersion("paperfigs", *version)
 
 	if opts.quick {
 		if opts.runs > 5 {

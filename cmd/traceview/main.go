@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -32,7 +33,9 @@ func main() {
 		summary      = flag.Bool("summary", false, "print per-kind counts instead of the trace")
 		limit        = flag.Int("limit", 0, "stop after this many trace rows (0 = unlimited)")
 	)
+	version := cliutil.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersion("traceview", *version)
 
 	var p repro.Platform
 	switch *platformName {

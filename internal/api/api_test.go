@@ -1,0 +1,208 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestConfigRoundTripKeyStable pins the core wire contract: encoding an
+// engine config to the wire, decoding it strictly, and resolving it
+// back must land on the same engine.ExperimentKey — for every
+// registered strategy crossed with every scheduler. A drift here means
+// an HTTP submission silently simulates a different experiment than the
+// in-process call.
+func TestConfigRoundTripKeyStable(t *testing.T) {
+	for _, strat := range engine.AllStrategies() {
+		for _, sched := range engine.SchedulerNames() {
+			cfg := engine.Config{
+				Platform:    mustPlatform(t, "cielo", 40, 2),
+				Classes:     workload.APEXClasses(),
+				Strategy:    strat,
+				Seed:        7,
+				Scheduler:   sched,
+				HorizonDays: 3,
+				Channels:    2,
+			}
+			wantKey, ok := engine.ExperimentKey(cfg, 5, engine.MCOptions{})
+			if !ok {
+				t.Fatalf("%s/%s: base config not cacheable", strat.Name(), sched)
+			}
+
+			wire, err := FromConfig(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: encode: %v", strat.Name(), sched, err)
+			}
+			spec := CampaignSpec{Config: wire, Runs: 5}
+			blob, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeCampaignSpec(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("%s/%s: strict decode of own encoding: %v", strat.Name(), sched, err)
+			}
+			res, err := decoded.Resolve()
+			if err != nil {
+				t.Fatalf("%s/%s: resolve: %v", strat.Name(), sched, err)
+			}
+			gotKey, ok := engine.ExperimentKey(res.Base, res.Runs, engine.MCOptions{})
+			if !ok {
+				t.Fatalf("%s/%s: resolved config not cacheable", strat.Name(), sched)
+			}
+			if gotKey != wantKey {
+				t.Errorf("%s/%s: ExperimentKey drifted across the wire:\n got %s\nwant %s",
+					strat.Name(), sched, gotKey, wantKey)
+			}
+		}
+	}
+}
+
+func mustPlatform(t *testing.T, name string, bwGBps, mtbfYears float64) platform.Platform {
+	t.Helper()
+	wire := Platform{Name: name, BandwidthGBps: bwGBps, NodeMTBFYears: mtbfYears}
+	plat, err := wire.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plat
+}
+
+// TestGridRoundTrip pins that a full sweep grid survives the wire with
+// all five axes intact.
+func TestGridRoundTrip(t *testing.T) {
+	grid := engine.SweepGrid{
+		BandwidthsBps:   []float64{units.GBps(40), units.GBps(80)},
+		NodeMTBFSeconds: []float64{units.Years(2)},
+		FailureSpecs: []engine.FailureSpec{
+			{Model: mustFailure(t, "exponential")},
+			{Model: mustFailure(t, "weibull"), WeibullShape: 0.7},
+		},
+		Channels:   []int{1, 2},
+		Strategies: engine.AllStrategies()[:3],
+	}
+	wire, err := FromGrid(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := wire.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := engine.Config{
+		Platform:    mustPlatform(t, "cielo", 40, 2),
+		Classes:     workload.APEXClasses(),
+		HorizonDays: 3,
+	}
+	want := grid.Points(base)
+	got := back.Points(base)
+	if len(want) != len(got) {
+		t.Fatalf("grid came back with %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].BandwidthBps != got[i].BandwidthBps ||
+			want[i].NodeMTBFSeconds != got[i].NodeMTBFSeconds ||
+			want[i].Channels != got[i].Channels ||
+			want[i].Strategy.Name() != got[i].Strategy.Name() ||
+			want[i].Failure.WeibullShape != got[i].Failure.WeibullShape {
+			t.Fatalf("point %d drifted: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func mustFailure(t *testing.T, name string) failure.Model {
+	t.Helper()
+	m, err := resolveFailureModel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDecodeStrict pins that unknown fields and trailing garbage are
+// rejected, not silently dropped.
+func TestDecodeStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown top-level field", `{"config":{"platform":{"name":"cielo"}},"runs":3,"bogus":1}`},
+		{"unknown nested field", `{"config":{"platform":{"name":"cielo"},"warp_factor":9},"runs":3}`},
+		{"trailing garbage", `{"config":{"platform":{"name":"cielo"}},"runs":3}{"again":true}`},
+		{"malformed", `{"config":`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeCampaignSpec(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// TestValidateCollectsAllErrors pins that Resolve surfaces every field
+// error at once rather than stopping at the first.
+func TestValidateCollectsAllErrors(t *testing.T) {
+	spec := CampaignSpec{
+		Config: Config{
+			Platform:     Platform{Name: "atlantis"},
+			Strategy:     "No-Such-Strategy",
+			Scheduler:    "quantum",
+			FailureModel: "lognormal",
+		},
+		Runs: -1,
+	}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("invalid spec validated")
+	}
+	msg := err.Error()
+	for _, want := range []string{"atlantis", "No-Such-Strategy", "quantum", "lognormal", "runs"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error is missing the %q failure:\n%s", want, msg)
+		}
+	}
+}
+
+// TestMCResultInfRoundTrip pins the +Inf half-width (below two CI
+// observations) across the JSON boundary, which float64 JSON cannot
+// carry directly.
+func TestMCResultInfRoundTrip(t *testing.T) {
+	in := engine.MCResult{Strategy: "Least-Waste", RunsUsed: 1, CIHalfWidth: math.Inf(1), Confidence: 0.95}
+	wire := FromMCResult(in)
+	blob, err := EncodeJSON(wire)
+	if err != nil {
+		t.Fatalf("+Inf leaked into the JSON encoder: %v", err)
+	}
+	var back MCResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	out := back.Engine()
+	if !math.IsInf(out.CIHalfWidth, 1) {
+		t.Fatalf("CIHalfWidth came back as %v, want +Inf", out.CIHalfWidth)
+	}
+}
+
+// TestListStrategiesCoversRegistry pins that the discovery endpoint
+// payload names every registered strategy and scheduler.
+func TestListStrategiesCoversRegistry(t *testing.T) {
+	resp := ListStrategies()
+	if got, want := len(resp.Strategies), len(engine.AllStrategies()); got != want {
+		t.Fatalf("listed %d strategies, registry has %d", got, want)
+	}
+	for _, si := range resp.Strategies {
+		if _, ok := engine.StrategyByName(si.Name); !ok {
+			t.Errorf("listed strategy %q is not resolvable", si.Name)
+		}
+	}
+	if got, want := len(resp.Schedulers), len(engine.SchedulerNames()); got != want {
+		t.Fatalf("listed %d schedulers, engine has %d", got, want)
+	}
+}

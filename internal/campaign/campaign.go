@@ -10,6 +10,7 @@ import (
 	"io/fs"
 	"iter"
 	"math/rand/v2"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -188,6 +189,28 @@ type Options struct {
 	Cache engine.ResultCache
 }
 
+// Progress is a point-in-time snapshot of campaign advancement — the
+// lightweight observation the management plane polls without consuming
+// the result iterator. Counters cover the current campaign run: points
+// replayed from the journal count as done (and restored), replicates
+// folded includes the in-flight point's progress, and cache hits count
+// points satisfied from the result cache instead of simulated.
+type Progress struct {
+	// PointsDone, PointsFailed and PointsSkipped classify the points the
+	// run has concluded so far; PointsTotal is the grid size.
+	PointsDone, PointsFailed, PointsSkipped, PointsTotal int
+	// PointsRestored counts the done points that were replayed from the
+	// journal rather than simulated or cache-served this run.
+	PointsRestored int
+	// ReplicatesFolded / ReplicatesTotal measure replicate progress
+	// across the whole grid (total = points × runs; a point stopped
+	// early by a target CI or served whole from cache/journal advances
+	// by its RunsUsed, so the ratio may finish below 1).
+	ReplicatesFolded, ReplicatesTotal int
+	// CacheHits counts points served from Options.Cache this run.
+	CacheHits int
+}
+
 // Campaign runs sweeps durably over one engine.Session.
 type Campaign struct {
 	opts    Options
@@ -196,6 +219,26 @@ type Campaign struct {
 	// campaign-wide progress; mutated only between experiments.
 	progressBase  int
 	progressTotal int
+	// progMu guards prog, the snapshot Snapshot serves: every other
+	// Campaign field is single-goroutine, but the snapshot is exactly
+	// the state outside observers poll concurrently.
+	progMu sync.Mutex
+	prog   Progress
+}
+
+// Snapshot returns the current progress. Safe to call from any
+// goroutine, including while RunSweep is executing on another.
+func (c *Campaign) Snapshot() Progress {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	return c.prog
+}
+
+// note applies a mutation to the progress snapshot under its lock.
+func (c *Campaign) note(f func(*Progress)) {
+	c.progMu.Lock()
+	f(&c.prog)
+	c.progMu.Unlock()
 }
 
 // New returns a campaign runner. The underlying session uses the
@@ -210,11 +253,16 @@ func New(opts Options) *Campaign {
 		sopts = append(sopts, engine.WithTargetCI(opts.TargetCI.HalfWidth,
 			opts.TargetCI.Confidence, opts.TargetCI.MinRuns, opts.TargetCI.MaxRuns))
 	}
-	if opts.Progress != nil {
-		sopts = append(sopts, engine.WithProgress(func(done, _ int) {
-			opts.Progress(c.progressBase+done, c.progressTotal)
-		}))
-	}
+	// The session progress hook always feeds the Snapshot counters —
+	// replicate-level progress inside the in-flight point — and forwards
+	// to the caller's Progress callback when one is set.
+	sopts = append(sopts, engine.WithProgress(func(done, _ int) {
+		folded := c.progressBase + done
+		c.note(func(p *Progress) { p.ReplicatesFolded = folded })
+		if opts.Progress != nil {
+			opts.Progress(folded, c.progressTotal)
+		}
+	}))
 	c.session = engine.NewSession(sopts...)
 	return c
 }
@@ -396,6 +444,9 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 	policy := c.opts.Retry.withDefaults()
 	c.progressTotal = len(pts) * runs
 	c.progressBase = 0
+	c.note(func(p *Progress) {
+		*p = Progress{PointsTotal: len(pts), ReplicatesTotal: c.progressTotal}
+	})
 	// breaker counts consecutive failed points per strategy, seeded from
 	// the journal so a resumed campaign remembers a tripping streak.
 	breaker := map[string]int{}
@@ -424,6 +475,11 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 		if st != nil && st.Done != nil {
 			c.cachePut(cacheKey, *st.Done)
 			c.progressBase += st.Done.RunsUsed
+			c.note(func(p *Progress) {
+				p.PointsDone++
+				p.PointsRestored++
+				p.ReplicatesFolded = c.progressBase
+			})
 			if c.opts.Progress != nil {
 				c.opts.Progress(c.progressBase, c.progressTotal)
 			}
@@ -448,6 +504,11 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 					return err
 				}
 				c.progressBase += mc.RunsUsed
+				c.note(func(p *Progress) {
+					p.PointsDone++
+					p.CacheHits++
+					p.ReplicatesFolded = c.progressBase
+				})
 				if c.opts.Progress != nil {
 					c.opts.Progress(c.progressBase, c.progressTotal)
 				}
@@ -467,6 +528,10 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 				return err
 			}
 			c.progressBase += runs
+			c.note(func(p *Progress) {
+				p.PointsSkipped++
+				p.ReplicatesFolded = c.progressBase
+			})
 			if !yield(PointResult{Point: pt, Status: StatusSkipped, Err: fmt.Errorf("campaign: %s", reason)}) {
 				return nil
 			}
@@ -481,9 +546,20 @@ func (c *Campaign) runSweep(ctx context.Context, base engine.Config, grid engine
 			c.cachePut(cacheKey, pr.MC)
 			breaker[name] = 0
 			c.progressBase += pr.MC.RunsUsed
+			c.note(func(p *Progress) {
+				p.PointsDone++
+				if pr.Restored {
+					p.PointsRestored++
+				}
+				p.ReplicatesFolded = c.progressBase
+			})
 		} else {
 			breaker[name]++
 			c.progressBase += runs
+			c.note(func(p *Progress) {
+				p.PointsFailed++
+				p.ReplicatesFolded = c.progressBase
+			})
 		}
 		if !yield(pr) {
 			return nil

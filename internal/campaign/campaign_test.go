@@ -609,3 +609,45 @@ func TestCampaignSIGKILLResume(t *testing.T) {
 		t.Fatal("resumed campaign did not seal the journal")
 	}
 }
+
+// TestCampaignProgressSnapshot pins the pollable progress snapshot: it
+// advances monotonically while the iterator is consumed, and a snapshot
+// read never perturbs or consumes the campaign itself.
+func TestCampaignProgressSnapshot(t *testing.T) {
+	base := tinyConfig(mustStrategy(t, "Least-Waste"), 7)
+	grid := engine.SweepGrid{Strategies: []engine.Strategy{
+		mustStrategy(t, "Least-Waste"), mustStrategy(t, "Ordered-Daly"),
+	}}
+	const runs = 3
+
+	c := New(Options{Workers: 2})
+	if p := c.Snapshot(); p != (Progress{}) {
+		t.Fatalf("fresh campaign snapshot %+v, want zero", p)
+	}
+	seq, errf := c.RunSweep(context.Background(), base, grid, runs)
+	seen := 0
+	lastDone, lastFolded := 0, 0
+	for pr := range seq {
+		seen++
+		p := c.Snapshot()
+		if p.PointsTotal != 2 || p.ReplicatesTotal != 2*runs {
+			t.Fatalf("snapshot totals %+v", p)
+		}
+		if p.PointsDone < lastDone || p.ReplicatesFolded < lastFolded {
+			t.Fatalf("progress regressed: %+v after done=%d folded=%d", p, lastDone, lastFolded)
+		}
+		lastDone, lastFolded = p.PointsDone, p.ReplicatesFolded
+		if p.PointsDone < seen {
+			t.Fatalf("yielded %d points but snapshot reports %d done", seen, p.PointsDone)
+		}
+		_ = pr
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	final := c.Snapshot()
+	want := Progress{PointsDone: 2, PointsTotal: 2, ReplicatesFolded: 2 * runs, ReplicatesTotal: 2 * runs}
+	if final != want {
+		t.Fatalf("terminal snapshot %+v, want %+v", final, want)
+	}
+}

@@ -1,6 +1,7 @@
 package resultcache
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -216,4 +217,69 @@ func mustNew(t *testing.T) *Cache {
 		t.Fatal(err)
 	}
 	return c
+}
+
+// TestConcurrentMixedWithEviction hammers a bounded two-tier cache with
+// mixed readers and writers across a key space larger than the memory
+// bound, so Get/Put race against eviction constantly. Every value is
+// keyed by its own content, so any torn or cross-keyed read is
+// detectable; the disk tier must keep serving entries the memory tier
+// evicted. Run under -race in CI.
+func TestConcurrentMixedWithEviction(t *testing.T) {
+	c, err := New(Options{Dir: t.TempDir(), MaxMemEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	keyOf := func(i int) string {
+		return fmt.Sprintf("%064x", i+1)
+	}
+	valOf := func(i int) engine.MCResult {
+		mc := sample()
+		mc.RunsUsed = i + 1
+		mc.Summary.Mean = float64(i + 1)
+		return mc
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*31 + i) % keys
+				if (g+i)%3 == 0 {
+					c.Put(keyOf(k), valOf(k))
+					continue
+				}
+				mc, ok := c.Get(keyOf(k))
+				if !ok {
+					continue
+				}
+				if mc.RunsUsed != k+1 || mc.Summary.Mean != float64(k+1) {
+					t.Errorf("key %d returned value for runs=%d mean=%v", k, mc.RunsUsed, mc.Summary.Mean)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Seed everything once more, then verify all keys still resolve —
+	// eviction bounded memory but the disk tier holds the full set.
+	for i := 0; i < keys; i++ {
+		c.Put(keyOf(i), valOf(i))
+	}
+	for i := 0; i < keys; i++ {
+		mc, ok := c.Get(keyOf(i))
+		if !ok {
+			t.Fatalf("key %d lost after eviction churn", i)
+		}
+		if mc.RunsUsed != i+1 {
+			t.Fatalf("key %d holds runs=%d", i, mc.RunsUsed)
+		}
+	}
+	if st := c.Stats(); st.DiskHits == 0 {
+		t.Error("eviction never pushed a read to the disk tier")
+	}
 }

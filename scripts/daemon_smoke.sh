@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Daemon smoke test: builds coopsimd, boots it on an ephemeral port,
+# submits a sweep over HTTP and asserts the streamed point frames are
+# bit-identical to the same sweep run through coopsim -ndjson, cancels
+# a second campaign mid-flight, and SIGTERMs the daemon asserting a
+# clean drain. Run from the repository root; needs curl and jq.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/coopsimd" ./cmd/coopsimd
+go build -o "$workdir/coopsim" ./cmd/coopsim
+
+echo "== boot"
+"$workdir/coopsimd" -addr 127.0.0.1:0 -data-dir "$workdir/data" \
+  >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+base=""
+for _ in $(seq 1 50); do
+  base=$(sed -n 's#^coopsimd: listening on \(http://.*\)$#\1#p' "$workdir/daemon.log")
+  [ -n "$base" ] && break
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "daemon never announced its address"; cat "$workdir/daemon.log"; exit 1; }
+echo "daemon at $base"
+
+curl -sf "$base/healthz" | jq -e '.status == "ok"' >/dev/null
+curl -sf "$base/v1/strategies" | jq -e '.strategies | length > 0' >/dev/null
+
+echo "== submit + stream"
+cat >"$workdir/spec.json" <<'SPEC'
+{
+  "name": "smoke",
+  "config": {
+    "platform": {"name": "cielo", "bandwidth_gbps": 40, "node_mtbf_years": 2},
+    "seed": 1,
+    "horizon_days": 3
+  },
+  "grid": {"strategies": ["Least-Waste", "Ordered-Daly"]},
+  "runs": 3
+}
+SPEC
+id=$(curl -sf -X POST --data-binary @"$workdir/spec.json" "$base/v1/campaigns" | jq -r .id)
+echo "campaign $id"
+curl -sfN "$base/v1/campaigns/$id/results" >"$workdir/http.ndjson"
+jq -e 'select(.end) | .end.state == "done"' "$workdir/http.ndjson" >/dev/null
+
+echo "== bit-identity vs coopsim -ndjson"
+"$workdir/coopsim" -strategy Least-Waste,Ordered-Daly -runs 3 -days 3 -seed 1 \
+  -bw 40 -mtbf 2 -ndjson >"$workdir/cli.ndjson" 2>/dev/null
+# Same streaming campaign path on both sides, so the point frames must
+# be byte-identical (the end frame is service framing; drop it).
+jq -c 'select(.point)' "$workdir/http.ndjson" >"$workdir/http.points"
+jq -c 'select(.point)' "$workdir/cli.ndjson" >"$workdir/cli.points"
+if ! diff -u "$workdir/cli.points" "$workdir/http.points"; then
+  echo "HTTP stream diverged from coopsim -ndjson"
+  exit 1
+fi
+echo "identical: $(wc -l <"$workdir/http.points") point frame(s)"
+
+echo "== cancel mid-flight"
+cat >"$workdir/long.json" <<'SPEC'
+{
+  "name": "cancel-me",
+  "config": {
+    "platform": {"name": "cielo", "bandwidth_gbps": 40, "node_mtbf_years": 2},
+    "seed": 2,
+    "horizon_days": 30
+  },
+  "grid": {"strategies": ["Least-Waste", "Fair-Share", "Ordered-Daly"]},
+  "runs": 64
+}
+SPEC
+long_id=$(curl -sf -X POST --data-binary @"$workdir/long.json" "$base/v1/campaigns" | jq -r .id)
+for _ in $(seq 1 100); do
+  folded=$(curl -sf "$base/v1/campaigns/$long_id" | jq .progress.replicates_folded)
+  [ "$folded" -gt 0 ] && break
+  sleep 0.1
+done
+[ "$folded" -gt 0 ] || { echo "campaign never started folding"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$base/v1/campaigns/$long_id")
+[ "$code" = 204 ] || { echo "cancel returned $code"; exit 1; }
+for _ in $(seq 1 100); do
+  state=$(curl -sf "$base/v1/campaigns/$long_id" | jq -r .state)
+  [ "$state" = cancelled ] && break
+  sleep 0.1
+done
+[ "$state" = cancelled ] || { echo "campaign state after cancel: $state"; exit 1; }
+echo "cancelled cleanly at $folded folded replicate(s)"
+
+echo "== SIGTERM drain"
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "daemon ignored SIGTERM"; exit 1
+fi
+wait "$daemon_pid" && rc=0 || rc=$?
+daemon_pid=""
+[ "$rc" = 0 ] || { echo "daemon exited $rc"; cat "$workdir/daemon.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/daemon.log" || { cat "$workdir/daemon.log"; exit 1; }
+echo "daemon drained cleanly"
+echo "== smoke OK"
